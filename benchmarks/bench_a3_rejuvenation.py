@@ -1,0 +1,71 @@
+"""A3 — rejuvenation policies driven by the aging detectors (in-sim).
+
+The application the paper motivates: close the detection loop into a
+rejuvenation controller.  Four policies run *inside* the simulation on
+identical machines over the same horizon:
+
+* ``none``        — let it crash;
+* ``periodic``    — restart every T seconds (classical; needs a safely
+  short T, wasting restarts);
+* ``threshold``   — restart when free memory stays under a floor (the
+  naive rule; acts close to death);
+* ``predictive``  — restart when the *online multifractal monitor*
+  raises the Hölder-shift alarm (the paper's method as a controller).
+
+Shape claims: without a policy the host crashes; the predictive policy
+survives the horizon; and it does so with no more restarts than the
+safely-tuned periodic policy.
+"""
+
+from repro.memsim import Machine, MachineConfig, attach_policy
+from repro.report import render_table
+
+_HORIZON = 40_000.0
+_SEEDS = (5, 6)
+
+_POLICIES = [
+    ("none", {}),
+    ("periodic", {"interval": 3000.0}),
+    ("threshold", {"floor_bytes": 12e6}),
+    ("predictive", {}),
+]
+
+
+def _compute():
+    rows = []
+    for policy, kwargs in _POLICIES:
+        crashes = 0
+        restarts = 0
+        survived_time = 0.0
+        for seed in _SEEDS:
+            machine = Machine(MachineConfig.nt4(seed=seed, max_run_seconds=_HORIZON))
+            attach_policy(machine, policy, **kwargs)
+            result = machine.run()
+            crashes += int(result.crashed)
+            restarts += len(result.rejuvenation_times)
+            survived_time += result.duration
+        rows.append([
+            policy, len(_SEEDS), crashes, restarts,
+            survived_time / (len(_SEEDS) * _HORIZON),
+        ])
+    return rows
+
+
+def test_a3_rejuvenation(benchmark):
+    rows = benchmark.pedantic(_compute, rounds=1, iterations=1)
+    print("\n" + render_table(
+        ["policy", "hosts", "crashes", "restarts", "uptime_fraction"],
+        rows, title=f"A3: in-simulation rejuvenation policies over "
+                    f"{_HORIZON:.0f}s horizons",
+    ))
+
+    by_name = {row[0]: row for row in rows}
+    assert by_name["none"][2] == len(_SEEDS), "unprotected hosts must crash"
+    assert by_name["predictive"][2] == 0, "predictive policy must avert crashes"
+    # The periodic timer only works because its interval was hand-tuned
+    # below the (unknown in practice) aging time; predictive adapts with
+    # a comparable restart budget.
+    assert by_name["predictive"][3] <= 1.5 * by_name["periodic"][3], \
+        "predictive restart budget must stay comparable to the tuned timer"
+    assert by_name["predictive"][4] > by_name["none"][4], \
+        "predictive uptime must beat crash-and-burn"

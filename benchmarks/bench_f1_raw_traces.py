@@ -1,0 +1,56 @@
+"""F1 — raw memory-counter traces over a stress-to-crash run.
+
+Regenerates the paper's introductory figure: the raw `Available Bytes`
+and `Pages/sec` traces of an instrumented host driven to crash by a
+stress workload.  Shape claims checked here: available memory decays
+noisily toward exhaustion with no sharp precursor, paging activity ramps
+up as pressure grows, and both series end at the crash.
+"""
+
+import numpy as np
+
+from repro.report import render_kv, render_series
+
+
+def _figure(run):
+    avail = run.bundle["AvailableBytes"].dropna()
+    pages = run.bundle["PagesPerSec"].dropna()
+    markers = [(run.crash_time, "crash")]
+    chunks = [
+        render_series(
+            avail.values, title="F1a: AvailableBytes (bytes) over the run",
+            x_values=avail.times, markers=markers,
+        ),
+        render_series(
+            pages.values, title="F1b: PagesPerSec over the run",
+            x_values=pages.times, markers=markers,
+        ),
+        render_kv(
+            {
+                "crash_time_s": run.crash_time,
+                "crash_reason": run.crash_reason,
+                "available_start_MB": avail.values[0] / 2**20,
+                "available_end_MB": avail.values[-1] / 2**20,
+                "pages_per_sec_first_decile": float(
+                    np.mean(pages.values[: len(pages) // 10])),
+                "pages_per_sec_last_decile": float(
+                    np.mean(pages.values[-len(pages) // 10:])),
+            },
+            title="F1 summary",
+        ),
+    ]
+    return "\n".join(chunks), avail, pages
+
+
+def test_f1_raw_traces(benchmark, nt4_run):
+    text, avail, pages = benchmark(_figure, nt4_run)
+    print("\n" + text)
+
+    # Shape assertions (the reproduction contract).
+    n = len(avail)
+    early = np.median(avail.values[: n // 10])
+    late = np.median(avail.values[-n // 10:])
+    assert late < early, "available memory must decay over the run"
+    p = pages.values
+    assert np.mean(p[-len(p) // 10:]) > 2 * np.mean(p[: len(p) // 10]) , \
+        "paging must intensify as the host ages"

@@ -1,0 +1,63 @@
+"""T8 — remaining-life forecasting from the aging indicator.
+
+The follow-on question after a warning: *how long does the host have?*
+A life model (indicator z-score -> remaining-life fraction) is fitted on
+all-but-one run of the crash fleet and evaluated on the held-out run at
+several truncation points.  Shape claims: mid-life predictions are
+order-of-magnitude correct, and predicted urgency ranks truncations
+correctly more often than not.
+"""
+
+import numpy as np
+
+from repro.core import analyze_counter, fit_life_model, predict_remaining_life
+from repro.report import render_kv, render_table
+
+_FRACTIONS = (0.6, 0.75, 0.85)
+
+
+def _compute(fleet):
+    rows = []
+    log_ratios = []
+    for held_idx in range(min(3, len(fleet))):
+        training = [
+            (analyze_counter(r.bundle["AvailableBytes"]).indicator, r.crash_time)
+            for i, r in enumerate(fleet) if i != held_idx
+        ]
+        model = fit_life_model(training)
+        held = fleet[held_idx]
+        for frac in _FRACTIONS:
+            trunc = held.bundle["AvailableBytes"].slice_time(
+                0, frac * held.crash_time)
+            indicator = analyze_counter(trunc).indicator
+            predicted = predict_remaining_life(model, indicator)
+            actual = held.crash_time - trunc.times[-1]
+            rows.append([
+                int(held.bundle.metadata["seed"]), frac,
+                predicted, actual, predicted / actual,
+            ])
+            log_ratios.append(abs(np.log(predicted / actual)))
+    return rows, log_ratios
+
+
+def test_t8_remaining_life(benchmark, nt4_fleet):
+    rows, log_ratios = benchmark.pedantic(
+        _compute, args=(nt4_fleet,), rounds=1, iterations=1)
+
+    print("\n" + render_table(
+        ["held-out seed", "life fraction", "predicted_s", "actual_s", "ratio"],
+        rows, title="T8: held-out remaining-life predictions (mid-life regime)",
+    ))
+    print(render_kv(
+        {
+            "n_predictions": len(rows),
+            "median_abs_log_ratio": float(np.median(log_ratios)),
+            "worst_ratio": float(np.exp(np.max(log_ratios))),
+        },
+        title="T8 aggregate",
+    ))
+
+    # Shape claim: typical prediction within a factor of ~4 of truth in
+    # the mid-life regime (this is a crude, assumption-light estimator;
+    # see the module docstring for the accuracy envelope).
+    assert float(np.median(log_ratios)) < np.log(4.0)

@@ -1,0 +1,58 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Stress-to-crash fleets are expensive (seconds per run), so they are
+session-scoped and shared across every experiment that consumes them —
+which also mirrors the paper's setup, where one set of instrumented runs
+feeds all the analyses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim import Machine, MachineConfig, run_fleet
+from repro.memsim.config import FaultConfig
+
+NT4_FLEET_SIZE = 6
+W2K_FLEET_SIZE = 4
+HEALTHY_FLEET_SIZE = 6
+
+NO_FAULTS = FaultConfig(
+    heap_leak_fraction=0.0, pool_leak_rate=0.0, fragmentation_rate=0.0,
+)
+
+
+@pytest.fixture(scope="session")
+def nt4_fleet():
+    """NT4-profile stress-to-crash fleet (the paper's first testbed)."""
+    results = run_fleet(MachineConfig.nt4(seed=1, max_run_seconds=80_000),
+                        NT4_FLEET_SIZE)
+    assert all(r.crashed for r in results)
+    return results
+
+
+@pytest.fixture(scope="session")
+def w2k_fleet():
+    """W2K-profile stress-to-crash fleet (the paper's second testbed)."""
+    results = run_fleet(MachineConfig.w2k(seed=101, max_run_seconds=120_000),
+                        W2K_FLEET_SIZE)
+    assert all(r.crashed for r in results)
+    return results
+
+
+@pytest.fixture(scope="session")
+def healthy_fleet():
+    """Fault-free control fleet for false-alarm accounting."""
+    results = [
+        Machine(MachineConfig.nt4(seed=60 + i, max_run_seconds=15_000,
+                                  faults=NO_FAULTS)).run()
+        for i in range(HEALTHY_FLEET_SIZE)
+    ]
+    assert not any(r.crashed for r in results)
+    return results
+
+
+@pytest.fixture(scope="session")
+def nt4_run(nt4_fleet):
+    """The representative single crash run used by the figure benches."""
+    return nt4_fleet[0]

@@ -1,0 +1,78 @@
+"""Full experiment workflow: fleets, trace archival, figures and tables.
+
+Mirrors the paper's experimental procedure end to end:
+
+1. run stress-to-crash fleets on both OS profiles;
+2. archive every run's counters to CSV (the `traces/` directory), as
+   the original study archived perfmon logs;
+3. analyse each run and print the warning-vs-crash table;
+4. render the raw-counter and Hölder-trajectory figures for one run.
+
+Run with::
+
+    python examples/stress_to_crash.py [n_runs_per_profile]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import MachineConfig, analyze_counter, run_fleet
+from repro.report import render_series, render_table
+from repro.trace import write_csv
+
+
+def main(n_runs: int = 2) -> None:
+    out_dir = Path("traces")
+    out_dir.mkdir(exist_ok=True)
+
+    fleets = {
+        "nt4": run_fleet(MachineConfig.nt4(seed=1, max_run_seconds=80_000), n_runs),
+        "w2k": run_fleet(MachineConfig.w2k(seed=101, max_run_seconds=120_000), n_runs),
+    }
+
+    rows = []
+    for profile, fleet in fleets.items():
+        for result in fleet:
+            seed = int(result.bundle.metadata["seed"])
+            path = out_dir / f"{profile}_seed{seed}.csv"
+            write_csv(result.bundle, path)
+
+            analysis = analyze_counter(result.bundle["AvailableBytes"])
+            lead = analysis.alarm.lead_time(result.crash_time) \
+                if analysis.alarm.fired else None
+            rows.append([
+                profile, seed,
+                f"{result.crash_time:.0f}", result.crash_reason,
+                f"{analysis.alarm.alarm_time:.0f}" if analysis.alarm.fired else "-",
+                f"{lead:.0f}" if lead is not None else "missed",
+                str(path),
+            ])
+
+    print(render_table(
+        ["profile", "seed", "crash_s", "reason", "warning_s", "lead_s", "trace"],
+        rows, title="Stress-to-crash fleet: warnings vs crashes",
+    ))
+
+    # Figures for the first NT4 run.
+    run = fleets["nt4"][0]
+    avail = run.bundle["AvailableBytes"].dropna()
+    print()
+    print(render_series(
+        avail.values, title="AvailableBytes over the run",
+        x_values=avail.times, markers=[(run.crash_time, "crash")],
+    ))
+    analysis = analyze_counter(run.bundle["AvailableBytes"])
+    ind = analysis.indicator.series
+    markers = [(run.crash_time, "crash")]
+    if analysis.alarm.fired:
+        markers.append((analysis.alarm.alarm_time, "warning"))
+    print()
+    print(render_series(
+        ind.values,
+        title=f"Windowed Hölder {analysis.indicator.statistic} with warning",
+        x_values=ind.times, markers=markers,
+    ))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2)

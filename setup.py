@@ -1,0 +1,11 @@
+"""Setup shim.
+
+This environment has no network access and no `wheel` package, so PEP 517
+editable installs (which need bdist_wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` take the legacy
+develop path.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Experiment campaign framework.
+
+The benches each hand-roll "run a fleet, analyse every run, aggregate".
+This subpackage is that workflow as a first-class, reusable API:
+
+* :class:`~repro.analysis.campaign.ExperimentSpec` — a declarative
+  description of one experimental cell (scenario, profile, fault factor,
+  detector settings, number of seeds).
+* :func:`~repro.analysis.campaign.run_campaign` — run a list of specs,
+  producing one :class:`~repro.analysis.campaign.CellResult` per cell
+  with per-run records and aggregate detection metrics.
+* :mod:`~repro.analysis.results` — JSON-file persistence of campaign
+  results and a flat-table view for reporting.
+"""
+
+from .campaign import (
+    ExperimentSpec,
+    RunRecord,
+    CellResult,
+    run_campaign,
+)
+from .results import save_results, load_results, results_table
+
+__all__ = [
+    "ExperimentSpec",
+    "RunRecord",
+    "CellResult",
+    "run_campaign",
+    "save_results",
+    "load_results",
+    "results_table",
+]

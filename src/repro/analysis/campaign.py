@@ -1,0 +1,196 @@
+"""Declarative experiment campaigns over the simulator and analysis chain.
+
+An :class:`ExperimentSpec` names everything that distinguishes one
+experimental cell; :func:`run_campaign` executes a list of cells, each as
+a fleet of seeded runs analysed with the configured detector, and
+returns aggregates ready for tabulation.  This is the machinery behind
+the multi-run experiments (T3/T4/A2-style studies) exposed as a public
+API for downstream parameter studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .._validation import check_choice, check_positive, check_positive_int
+from ..core import analyze_counter
+from ..core.detectors import DetectorConfig
+from ..exceptions import ValidationError
+from ..memsim.scenarios import SCENARIO_NAMES, build_scenario
+from ..stats.roc import DetectionOutcome, score_detections
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One experimental cell.
+
+    Attributes
+    ----------
+    name:
+        Label used in result tables (must be unique in a campaign).
+    scenario:
+        One of :data:`repro.memsim.scenarios.SCENARIO_NAMES`.
+    profile:
+        ``"nt4"`` or ``"w2k"``.
+    n_runs:
+        Number of seeded runs in the cell.
+    base_seed:
+        Seed of the first run (run i uses ``base_seed + i``).
+    fault_factor:
+        Aging-intensity multiplier (0 disables aging via the scenario's
+        fault scaling — use a healthy cell for false-alarm accounting).
+    counter:
+        Counter the detector monitors.
+    indicator:
+        ``"mean"`` or ``"variance"`` Hölder moment.
+    detector:
+        Detector configuration.
+    max_run_seconds:
+        Simulation budget per run.
+    """
+
+    name: str
+    scenario: str = "stress"
+    profile: str = "nt4"
+    n_runs: int = 3
+    base_seed: int = 0
+    fault_factor: float = 1.0
+    counter: str = "AvailableBytes"
+    indicator: str = "mean"
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    max_run_seconds: float = 80_000.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("spec name must be non-empty")
+        check_choice(self.scenario, name="scenario", choices=SCENARIO_NAMES)
+        check_choice(self.profile, name="profile", choices=("nt4", "w2k"))
+        check_positive_int(self.n_runs, name="n_runs")
+        check_choice(self.indicator, name="indicator", choices=("mean", "variance"))
+        check_positive(self.max_run_seconds, name="max_run_seconds")
+        if self.fault_factor < 0:
+            raise ValidationError("fault_factor must be non-negative")
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Per-run outcome within a cell."""
+
+    seed: int
+    crashed: bool
+    crash_time: Optional[float]
+    crash_reason: Optional[str]
+    alarm_time: Optional[float]
+    lead_time: Optional[float]
+    duration: float
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """A cell's runs plus detection aggregates.
+
+    ``outcome`` is only present when the cell produced at least one
+    crash (healthy cells have nothing to score leads against); healthy
+    cells report ``false_alarms`` instead.
+    """
+
+    spec: ExperimentSpec
+    runs: List[RunRecord]
+    outcome: Optional[DetectionOutcome]
+    false_alarms: int
+
+    @property
+    def n_crashed(self) -> int:
+        """Number of runs that crashed."""
+        return sum(1 for r in self.runs if r.crashed)
+
+    @property
+    def median_lead(self) -> float:
+        """Median lead over detected crashes (NaN when none)."""
+        leads = [r.lead_time for r in self.runs
+                 if r.lead_time is not None and r.lead_time > 0]
+        return float(np.median(leads)) if leads else float("nan")
+
+
+def run_cell(spec: ExperimentSpec) -> CellResult:
+    """Execute one cell: fleet, analysis, aggregation."""
+    records: List[RunRecord] = []
+    for i in range(spec.n_runs):
+        seed = spec.base_seed + i
+        machine = _build(spec, seed)
+        result = machine.run()
+
+        alarm_time: Optional[float] = None
+        try:
+            analysis = analyze_counter(
+                result.bundle[spec.counter],
+                indicator=spec.indicator,
+                detector_config=spec.detector,
+            )
+            alarm_time = analysis.alarm.alarm_time
+        except Exception:
+            alarm_time = None  # too-short run or degenerate counter
+
+        lead = None
+        if alarm_time is not None and result.crash_time is not None:
+            lead = result.crash_time - alarm_time
+        records.append(RunRecord(
+            seed=seed,
+            crashed=result.crashed,
+            crash_time=result.crash_time,
+            crash_reason=result.crash_reason,
+            alarm_time=alarm_time,
+            lead_time=lead,
+            duration=result.duration,
+        ))
+
+    crashed = [r for r in records if r.crashed]
+    if crashed:
+        outcome = score_detections(
+            [r.alarm_time for r in crashed],
+            [r.crash_time for r in crashed],
+            min_lead=60.0, max_lead_fraction=0.95,
+        )
+    else:
+        outcome = None
+    false_alarms = sum(
+        1 for r in records if not r.crashed and r.alarm_time is not None
+    )
+    return CellResult(spec=spec, runs=records, outcome=outcome,
+                      false_alarms=false_alarms)
+
+
+def run_campaign(specs: List[ExperimentSpec]) -> Dict[str, CellResult]:
+    """Run every cell; returns results keyed by spec name."""
+    if not specs:
+        raise ValidationError("campaign needs at least one spec")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValidationError(f"duplicate spec names in campaign: {names}")
+    return {spec.name: run_cell(spec) for spec in specs}
+
+
+def _build(spec: ExperimentSpec, seed: int):
+    if spec.fault_factor == 0.0:
+        # Scenario scaling cannot reach exactly zero (scaled() requires a
+        # positive factor); build with explicitly disabled faults.
+        from ..memsim.config import FaultConfig
+
+        machine = build_scenario(
+            spec.scenario, seed=seed, profile=spec.profile,
+            max_run_seconds=spec.max_run_seconds,
+            config_overrides={"faults": FaultConfig(
+                heap_leak_fraction=0.0, pool_leak_rate=0.0,
+                fragmentation_rate=0.0,
+            )},
+        )
+    else:
+        machine = build_scenario(
+            spec.scenario, seed=seed, profile=spec.profile,
+            max_run_seconds=spec.max_run_seconds,
+            fault_factor=spec.fault_factor,
+        )
+    return machine

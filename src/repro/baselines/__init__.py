@@ -1,0 +1,20 @@
+"""Baseline aging detectors the paper's method is compared against.
+
+* :class:`TrendExhaustionDetector` — the measurement-based approach of
+  Vaidyanathan & Trivedi (1998)/Garg et al.: detect a monotone trend in
+  a resource counter (Mann–Kendall), estimate its slope robustly (Sen),
+  extrapolate to exhaustion, and alarm when the predicted time to
+  exhaustion drops below a horizon.
+* :class:`RawThresholdDetector` — the naive operator rule: alarm when
+  the raw counter itself crosses a fixed fraction of its healthy level.
+"""
+
+from .trend import TrendExhaustionDetector, TrendAlarm, predict_exhaustion_time
+from .naive import RawThresholdDetector
+
+__all__ = [
+    "TrendExhaustionDetector",
+    "TrendAlarm",
+    "predict_exhaustion_time",
+    "RawThresholdDetector",
+]

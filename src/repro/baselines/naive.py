@@ -1,0 +1,67 @@
+"""The naive operator rule: alarm on a raw-counter threshold.
+
+Alarm when the counter stays below ``fraction_of_baseline`` times its
+healthy median for ``min_consecutive`` consecutive samples.  Cheap and
+common in practice; the comparison table shows why it is a poor warning
+(for a leaking system it fires very late — the counter only reaches the
+threshold when exhaustion is already imminent — and thrashing-induced
+rebounds can bounce it back out of alarm).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_in_range, check_positive_int
+from ..exceptions import AnalysisError
+from ..trace.series import TimeSeries
+
+
+@dataclass
+class RawThresholdDetector:
+    """Alarm when the raw counter drops below a fraction of its baseline.
+
+    Parameters
+    ----------
+    fraction_of_baseline:
+        Threshold as a fraction of the healthy (calibration) median.
+    calibration_fraction:
+        Leading fraction of the series used to establish the healthy
+        median.
+    min_consecutive:
+        Consecutive below-threshold samples required (debounce).
+    """
+
+    fraction_of_baseline: float = 0.2
+    calibration_fraction: float = 0.2
+    min_consecutive: int = 10
+
+    def __post_init__(self) -> None:
+        check_in_range(self.fraction_of_baseline, name="fraction_of_baseline",
+                       low=0.0, high=1.0, inclusive_low=False, inclusive_high=False)
+        check_in_range(self.calibration_fraction, name="calibration_fraction",
+                       low=0.02, high=0.8)
+        check_positive_int(self.min_consecutive, name="min_consecutive")
+
+    def run(self, ts: TimeSeries) -> Optional[float]:
+        """Return the first alarm time, or None."""
+        clean = ts.dropna()
+        n = len(clean)
+        n_cal = int(n * self.calibration_fraction)
+        if n_cal < 8:
+            raise AnalysisError(
+                f"calibration window has {n_cal} samples; need >= 8"
+            )
+        baseline = float(np.median(clean.values[:n_cal]))
+        limit = baseline * self.fraction_of_baseline
+        below = clean.values[n_cal:] < limit
+        times = clean.times[n_cal:]
+        run_length = 0
+        for i, flag in enumerate(below):
+            run_length = run_length + 1 if flag else 0
+            if run_length >= self.min_consecutive:
+                return float(times[i])
+        return None

@@ -1,0 +1,154 @@
+"""Trend-extrapolation exhaustion prediction (Vaidyanathan & Trivedi 1998).
+
+The classical measurement-based rejuvenation trigger: a depleting
+resource (here `Available Bytes`, which trends downward as leaks
+accumulate) is fitted with a robust slope over a sliding history window;
+the zero-crossing of the fitted line predicts the exhaustion time; the
+detector alarms when that prediction comes within ``horizon`` seconds of
+now *and* the trend is statistically significant (Mann–Kendall).
+
+This is the baseline the multifractal detector is compared against in
+experiment T4.  Its known weaknesses — which the comparison surfaces —
+are (a) bursty counters give noisy slopes, so predictions whipsaw, and
+(b) trim/thrash dynamics near death *raise* AvailableBytes transiently,
+stalling the extrapolation exactly when it matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_in_range, check_positive, check_positive_int
+from ..exceptions import AnalysisError
+from ..stats.trend import mann_kendall, sen_slope
+from ..trace.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class TrendAlarm:
+    """Outcome of the trend detector over one counter series.
+
+    Attributes
+    ----------
+    alarm_time:
+        First time the predicted exhaustion came within the horizon
+        (None when it never did).
+    predicted_exhaustion:
+        The exhaustion-time prediction made at the alarm (None without
+        an alarm).
+    slope_at_alarm:
+        Sen slope (units/second) at the alarm.
+    source_name:
+        The analysed counter.
+    """
+
+    alarm_time: Optional[float]
+    predicted_exhaustion: Optional[float]
+    slope_at_alarm: float
+    source_name: str
+
+    @property
+    def fired(self) -> bool:
+        """True when an alarm was raised."""
+        return self.alarm_time is not None
+
+
+def predict_exhaustion_time(
+    times: np.ndarray,
+    values: np.ndarray,
+    *,
+    floor: float = 0.0,
+) -> Optional[float]:
+    """Extrapolate a Sen-slope fit to the time the counter hits ``floor``.
+
+    Returns None when the robust slope is non-negative (no depletion in
+    sight).
+    """
+    slope = sen_slope(times, values)
+    if slope >= 0:
+        return None
+    level = float(np.median(values))
+    anchor = float(np.median(times))
+    return anchor + (floor - level) / slope
+
+
+@dataclass
+class TrendExhaustionDetector:
+    """Sliding-window Sen-slope exhaustion predictor.
+
+    Parameters
+    ----------
+    window_seconds:
+        History length used for each prediction.
+    step_seconds:
+        How often a new prediction is made.
+    horizon_seconds:
+        Alarm when predicted time-to-exhaustion falls below this.
+    floor:
+        Counter level considered "exhausted" (0 for AvailableBytes).
+    alpha:
+        Mann–Kendall significance level required of the trend.
+    min_samples:
+        Minimum samples per window.
+    """
+
+    window_seconds: float = 3600.0
+    step_seconds: float = 300.0
+    horizon_seconds: float = 7200.0
+    floor: float = 0.0
+    alpha: float = 0.05
+    min_samples: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive(self.window_seconds, name="window_seconds")
+        check_positive(self.step_seconds, name="step_seconds")
+        check_positive(self.horizon_seconds, name="horizon_seconds")
+        check_in_range(self.alpha, name="alpha", low=0.0, high=1.0,
+                       inclusive_low=False, inclusive_high=False)
+        check_positive_int(self.min_samples, name="min_samples", minimum=8)
+
+    def run(self, ts: TimeSeries) -> TrendAlarm:
+        """Scan the series; return the first within-horizon prediction."""
+        clean = ts.dropna()
+        if len(clean) < self.min_samples:
+            raise AnalysisError(
+                f"series {ts.name!r} has {len(clean)} samples; "
+                f"need >= {self.min_samples}"
+            )
+        t0 = clean.times[0] + self.window_seconds
+        t_end = clean.times[-1]
+        now = t0
+        while now <= t_end:
+            window = clean.slice_time(now - self.window_seconds, now + 1e-9)
+            if len(window) >= self.min_samples:
+                alarm = self._evaluate(window, now)
+                if alarm is not None:
+                    return TrendAlarm(
+                        alarm_time=now,
+                        predicted_exhaustion=alarm[0],
+                        slope_at_alarm=alarm[1],
+                        source_name=ts.name,
+                    )
+            now += self.step_seconds
+        return TrendAlarm(
+            alarm_time=None, predicted_exhaustion=None,
+            slope_at_alarm=float("nan"), source_name=ts.name,
+        )
+
+    def _evaluate(self, window: TimeSeries, now: float) -> Optional[tuple[float, float]]:
+        """One prediction; returns (exhaustion_time, slope) when alarming."""
+        mk = mann_kendall(window.values, alpha=self.alpha)
+        if mk.trend != "decreasing":
+            return None
+        slope = sen_slope(window.times, window.values)
+        if slope >= 0:
+            return None
+        level = float(np.median(window.values))
+        anchor = float(np.median(window.times))
+        exhaustion = anchor + (self.floor - level) / slope
+        if exhaustion - now <= self.horizon_seconds:
+            return exhaustion, slope
+        return None

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands covering the library's main workflows:
+
+``simulate``
+    Run a stress-to-crash simulation and write the counter traces to a
+    CSV file::
+
+        python -m repro simulate --profile nt4 --seed 7 --out run.csv
+
+``analyze``
+    Run the aging analysis on a trace CSV (produced by ``simulate`` or
+    hand-converted from a real collector) and print the warning
+    report::
+
+        python -m repro analyze run.csv --counter AvailableBytes
+
+``validate``
+    Quick self-check: synthesise ground-truth signals and verify the
+    estimators recover their exponents (a smoke-test version of the T5
+    benchmark)::
+
+        python -m repro validate
+
+``campaign``
+    Run a small detection campaign (aging cell + healthy control) on a
+    named scenario and print/persist the aggregate table::
+
+        python -m repro campaign --scenario webserver --runs 3 --out results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Software aging and multifractality of memory resources "
+                    "(DSN 2003 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a stress-to-crash simulation")
+    sim.add_argument("--profile", choices=("nt4", "w2k"), default="nt4")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-seconds", type=float, default=80_000.0)
+    sim.add_argument("--fault-factor", type=float, default=1.0,
+                     help="scale every aging-fault intensity")
+    sim.add_argument("--out", required=True, help="output CSV path")
+
+    ana = sub.add_parser("analyze", help="aging analysis of a trace CSV")
+    ana.add_argument("trace", help="CSV produced by `repro simulate`")
+    ana.add_argument("--counter", default="AvailableBytes")
+    ana.add_argument("--indicator", choices=("mean", "variance"), default="mean")
+    ana.add_argument("--scheme", choices=("cusum", "ewma", "threshold"),
+                     default="cusum")
+
+    sub.add_parser("validate", help="estimator self-check on ground truth")
+
+    camp = sub.add_parser("campaign",
+                          help="aging + healthy-control detection campaign")
+    camp.add_argument("--scenario", default="stress")
+    camp.add_argument("--profile", choices=("nt4", "w2k"), default="nt4")
+    camp.add_argument("--runs", type=int, default=3)
+    camp.add_argument("--base-seed", type=int, default=1)
+    camp.add_argument("--max-seconds", type=float, default=60_000.0)
+    camp.add_argument("--out", default=None, help="optional JSON output path")
+    return parser
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one machine and archive its traces."""
+    from .memsim import Machine, MachineConfig
+    from .trace import write_csv
+
+    ctor = MachineConfig.nt4 if args.profile == "nt4" else MachineConfig.w2k
+    base = ctor(seed=args.seed, max_run_seconds=args.max_seconds)
+    if args.fault_factor != 1.0:
+        base = ctor(seed=args.seed, max_run_seconds=args.max_seconds,
+                    faults=base.faults.scaled(args.fault_factor))
+    print(f"simulating {args.profile} seed={args.seed} "
+          f"(budget {args.max_seconds:.0f}s)...")
+    result = Machine(base).run()
+    write_csv(result.bundle, args.out)
+    if result.crashed:
+        print(f"crashed at t={result.crash_time:.0f}s ({result.crash_reason}); "
+              f"traces -> {args.out}")
+    else:
+        print(f"survived {result.duration:.0f}s; traces -> {args.out}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Analyse one counter of a trace file."""
+    from .core import analyze_counter
+    from .core.detectors import DetectorConfig
+    from .trace import read_csv
+
+    bundle = read_csv(args.trace)
+    if args.counter not in bundle:
+        print(f"error: no counter {args.counter!r} in {args.trace}; "
+              f"available: {bundle.names}", file=sys.stderr)
+        return 2
+    analysis = analyze_counter(
+        bundle[args.counter],
+        indicator=args.indicator,
+        detector_config=DetectorConfig(scheme=args.scheme),
+    )
+    alarm = analysis.alarm
+    print(f"counter      : {args.counter}")
+    print(f"indicator    : windowed Hölder {analysis.indicator.statistic}")
+    print(f"scheme       : {alarm.scheme}")
+    print(f"baseline     : {alarm.baseline_mean:.4g} ± {alarm.baseline_std:.4g}")
+    if alarm.fired:
+        print(f"WARNING at   : {alarm.alarm_time:.0f}s")
+    else:
+        print("no warning fired")
+    crash_time = bundle.metadata.get("crash_time")
+    if crash_time is not None:
+        print(f"crash (truth): {float(crash_time):.0f}s")
+        if alarm.fired:
+            print(f"lead time    : {float(crash_time) - alarm.alarm_time:.0f}s")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Estimator smoke check against closed-form exponents."""
+    from .fractal import dfa, wavelet_leader_analysis
+    from .generators import fbm, fgn, weierstrass
+    from .core import wavelet_holder
+
+    failures = 0
+
+    def check(label: str, got: float, want: float, tol: float) -> None:
+        nonlocal failures
+        ok = abs(got - want) <= tol
+        status = "ok " if ok else "FAIL"
+        print(f"  [{status}] {label}: got {got:+.3f}, want {want:+.3f} ± {tol}")
+        if not ok:
+            failures += 1
+
+    print("validating estimators on ground-truth signals...")
+    for h_true in (0.3, 0.7):
+        x = fgn(2**13, h_true, rng=np.random.default_rng(1))
+        check(f"DFA on fGn H={h_true}", dfa(x).alpha, h_true, 0.1)
+    w = weierstrass(2**12, 0.5)
+    check("wavelet Hölder on Weierstrass h=0.5",
+          float(np.mean(wavelet_holder(w))), 0.5, 0.1)
+    path = fbm(2**14, 0.6, rng=np.random.default_rng(2))
+    res = wavelet_leader_analysis(path, q=np.linspace(-2, 3, 11))
+    check("wavelet-leader c1 on fBm H=0.6", res.c1, 0.6, 0.1)
+    check("wavelet-leader c2 on fBm (monofractal)", res.c2, 0.0, 0.05)
+
+    print("all checks passed" if failures == 0 else f"{failures} check(s) FAILED")
+    return 0 if failures == 0 else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a two-cell campaign (aging vs healthy control) and report."""
+    from .analysis import ExperimentSpec, results_table, run_campaign, save_results
+    from .report import render_table
+
+    specs = [
+        ExperimentSpec(
+            name=f"{args.scenario}-aging", scenario=args.scenario,
+            profile=args.profile, n_runs=args.runs, base_seed=args.base_seed,
+            max_run_seconds=args.max_seconds,
+        ),
+        ExperimentSpec(
+            name=f"{args.scenario}-healthy", scenario=args.scenario,
+            profile=args.profile, n_runs=args.runs,
+            base_seed=args.base_seed + 1000, fault_factor=0.0,
+            max_run_seconds=min(args.max_seconds, 15_000.0),
+        ),
+    ]
+    print(f"running {2 * args.runs} simulations "
+          f"({args.scenario}/{args.profile})...")
+    results = run_campaign(specs)
+    print(render_table(
+        ["cell", "runs", "crashed", "detected", "missed",
+         "median_lead_s", "false_alarms"],
+        results_table(results), title="Campaign results",
+    ))
+    if args.out:
+        save_results(results, args.out)
+        print(f"results -> {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "analyze": cmd_analyze,
+        "validate": cmd_validate,
+        "campaign": cmd_campaign,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

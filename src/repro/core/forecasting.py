@@ -1,0 +1,191 @@
+"""Remaining-life forecasting from the aging indicator.
+
+Alarms say *that* the host is aging; operators also ask *how long it has
+left*.  Following the measurement-based rejuvenation literature's
+time-to-exhaustion estimates (Garg et al.; Vaidyanathan & Trivedi), this
+module calibrates the mapping
+
+``indicator z-score  ->  remaining fraction of life``
+
+on a training fleet with known crash times, then predicts remaining
+seconds for new runs from their indicator trajectory.
+
+Method: for every training run, each indicator sample contributes a pair
+``(z, remaining_fraction)``; pairs are pooled, sorted by z and reduced to
+a monotone (isotonic-style) stepwise curve by pool-adjacent-violators.
+Prediction evaluates the curve at the target run's current z and scales
+by the run's elapsed time:
+
+``remaining ≈ elapsed * f(z) / (1 - f(z))``
+
+which needs no knowledge of the total lifetime.
+
+Accuracy envelope: this is a deliberately crude, assumption-light
+estimator.  On held-out simulated runs it is order-of-magnitude correct
+through the middle of life (roughly 40–85% of the run) and degrades at
+the extremes — early on the indicator has not separated from its
+baseline, and in the final minutes the Hölder indicator saturates and
+can even rebound, breaking the monotone z-to-remaining relationship.
+Use the alarms (:mod:`repro.core.detectors`) for the *decision*; use
+this forecast only to rank hosts by urgency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import AnalysisError, ValidationError
+from .indicators import IndicatorSeries
+
+
+@dataclass(frozen=True)
+class LifeModel:
+    """Monotone mapping from indicator z-score to remaining-life fraction.
+
+    Attributes
+    ----------
+    z_grid:
+        Increasing z values of the stepwise curve.
+    remaining_fraction:
+        Monotone non-increasing remaining-life fractions at those z.
+    n_training_pairs:
+        Pooled (z, fraction) pairs the curve was fitted on.
+    """
+
+    z_grid: np.ndarray
+    remaining_fraction: np.ndarray
+    n_training_pairs: int
+
+    def predict_fraction(self, z: float) -> float:
+        """Remaining-life fraction at an indicator z-score (clipped)."""
+        return float(np.interp(z, self.z_grid, self.remaining_fraction))
+
+    def predict_remaining_seconds(self, z: float, elapsed: float) -> float:
+        """Remaining seconds given the current z and elapsed uptime."""
+        if elapsed <= 0:
+            raise ValidationError(f"elapsed must be positive, got {elapsed}")
+        fraction = min(self.predict_fraction(z), 0.99)
+        return elapsed * fraction / (1.0 - fraction)
+
+
+def _indicator_z_series(indicator: IndicatorSeries,
+                        calibration_fraction: float = 0.3) -> tuple:
+    """Z-score the indicator against its own healthy head."""
+    values = indicator.series.values
+    times = indicator.series.times
+    n_cal = max(int(values.size * calibration_fraction), 8)
+    if values.size <= n_cal + 8:
+        raise AnalysisError("indicator too short to z-score")
+    mean = float(np.mean(values[:n_cal]))
+    std = float(np.std(values[:n_cal], ddof=1))
+    if std == 0:
+        std = max(abs(mean) * 1e-6, 1e-12)
+    # Two-sided deviation: aging can move the indicator either way.
+    z = np.abs(values - mean) / std
+    return times, z
+
+
+def fit_life_model(
+    training: Sequence[tuple],
+    *,
+    n_grid: int = 40,
+) -> LifeModel:
+    """Fit the z -> remaining-fraction curve on (indicator, crash_time) pairs.
+
+    Parameters
+    ----------
+    training:
+        Sequence of ``(IndicatorSeries, crash_time)`` from runs whose
+        death was observed.
+    n_grid:
+        Resolution of the fitted stepwise curve.
+    """
+    check_positive_int(n_grid, name="n_grid", minimum=5)
+    if len(training) < 2:
+        raise ValidationError("need at least 2 training runs")
+
+    zs: List[float] = []
+    fractions: List[float] = []
+    for indicator, crash_time in training:
+        if crash_time is None or crash_time <= 0:
+            raise ValidationError("training runs must have positive crash times")
+        times, z = _indicator_z_series(indicator)
+        usable = times < crash_time
+        t_use = times[usable]
+        z_use = z[usable]
+        t0 = t_use[0]
+        life = crash_time - t0
+        remaining = (crash_time - t_use) / life
+        zs.extend(z_use.tolist())
+        fractions.extend(remaining.tolist())
+    if len(zs) < n_grid:
+        raise AnalysisError("too few training pairs for the requested grid")
+
+    order = np.argsort(zs)
+    z_sorted = np.asarray(zs)[order]
+    f_sorted = np.asarray(fractions)[order]
+
+    # Bin to the grid, then enforce monotonicity (non-increasing in z)
+    # with pool-adjacent-violators.
+    edges = np.linspace(0, z_sorted.size, n_grid + 1).astype(int)
+    grid_z = np.array([z_sorted[edges[i]:edges[i + 1]].mean()
+                       for i in range(n_grid)])
+    grid_f = np.array([f_sorted[edges[i]:edges[i + 1]].mean()
+                       for i in range(n_grid)])
+    grid_f = _pava_nonincreasing(grid_f)
+
+    # Deduplicate any equal z (np.interp needs increasing x).
+    keep = np.concatenate([[True], np.diff(grid_z) > 0])
+    return LifeModel(
+        z_grid=grid_z[keep],
+        remaining_fraction=np.clip(grid_f[keep], 0.0, 1.0),
+        n_training_pairs=len(zs),
+    )
+
+
+def predict_remaining_life(
+    model: LifeModel,
+    indicator: IndicatorSeries,
+) -> float:
+    """Remaining-seconds prediction for a run in progress.
+
+    Uses the indicator's latest z-score and the elapsed monitored time.
+    """
+    times, z = _indicator_z_series(indicator)
+    elapsed = float(times[-1] - times[0])
+    if elapsed <= 0:
+        raise AnalysisError("indicator spans no time")
+    # Smooth the operating point over the last few samples.
+    current_z = float(np.median(z[-5:]))
+    return model.predict_remaining_seconds(current_z, elapsed)
+
+
+def _pava_nonincreasing(values: np.ndarray) -> np.ndarray:
+    """Pool-adjacent-violators for a non-increasing fit (equal weights)."""
+    # Fit non-decreasing on the negated series, then negate back.
+    y = -values.astype(float)
+    n = y.size
+    result = y.copy()
+    weights = np.ones(n)
+    # Classic stack-based PAVA.
+    means: List[float] = []
+    counts: List[float] = []
+    for i in range(n):
+        means.append(result[i])
+        counts.append(1.0)
+        while len(means) > 1 and means[-2] > means[-1]:
+            total = counts[-1] + counts[-2]
+            merged = (means[-1] * counts[-1] + means[-2] * counts[-2]) / total
+            means.pop(); counts.pop()
+            means[-1] = merged
+            counts[-1] = total
+    out = np.empty(n)
+    idx = 0
+    for mean, count in zip(means, counts):
+        out[idx: idx + int(count)] = mean
+        idx += int(count)
+    return -out

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  Each
+subsystem raises the most specific subclass that applies:
+
+* :class:`ValidationError` -- a caller passed an argument that fails the
+  documented contract (wrong shape, out-of-range value, bad enum member).
+* :class:`AnalysisError` -- a numerical analysis could not be carried out
+  on the given data (too short, degenerate scaling region, all-NaN input).
+* :class:`SimulationError` -- an inconsistency inside the simulator that
+  indicates a bug or an impossible configuration, *not* a simulated crash
+  (simulated crashes are modelled as results, never as exceptions).
+* :class:`TraceError` -- malformed trace data or trace file.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every intentional error raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument violates a documented precondition.
+
+    Inherits :class:`ValueError` so that generic callers that guard with
+    ``except ValueError`` keep working.
+    """
+
+
+class AnalysisError(ReproError, RuntimeError):
+    """A numerical analysis failed on the supplied data.
+
+    Typical causes: a series shorter than the minimum the estimator needs,
+    a scaling regression with fewer than two usable scales, or data whose
+    fluctuations are exactly zero (so logarithms are undefined).
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an internally inconsistent state.
+
+    This always indicates a configuration impossible to honour or a bug in
+    the simulator itself.  A simulated OS crash is a normal outcome and is
+    reported through :class:`repro.memsim.machine.RunResult`, never raised.
+    """
+
+
+class TraceError(ReproError, ValueError):
+    """Trace data or a trace file is malformed."""

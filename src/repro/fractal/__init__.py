@@ -1,0 +1,93 @@
+"""Fractal and multifractal analysis substrate.
+
+Everything the paper's Hölder/aging analysis rests on, built from
+scratch on numpy:
+
+Wavelets (:mod:`.wavelets`)
+    Daubechies filters by spectral factorisation, periodic DWT/inverse,
+    MODWT, and an FFT-based CWT (Mexican hat / derivative-of-Gaussian /
+    Morlet).
+Global scaling estimators
+    :func:`dfa` (detrended fluctuation analysis), :func:`mfdfa`
+    (its q-order multifractal generalisation), :func:`wtmm`
+    (wavelet-transform modulus maxima), the Hurst toolbox in
+    :mod:`.hurst` (R/S, aggregated variance, periodogram, wavelet
+    variance), and q-order structure functions.
+Spectra (:mod:`.spectrum`)
+    Legendre transform from tau(q) to the singularity spectrum f(alpha),
+    spectrum width, and box-method partition functions for measures.
+"""
+
+from .wavelets import (
+    daubechies_filter,
+    dwt,
+    idwt,
+    dwt_max_level,
+    modwt,
+    cwt,
+)
+from .dfa import dfa, DfaResult
+from .mfdfa import mfdfa, MfdfaResult
+from .hurst import (
+    rs_analysis,
+    aggregated_variance,
+    periodogram_gph,
+    wavelet_variance_hurst,
+    hurst_summary,
+)
+from .structure import structure_functions, StructureFunctionResult
+from .spectrum import (
+    legendre_spectrum,
+    SingularitySpectrum,
+    partition_function_tau,
+    spectrum_width,
+)
+from .wtmm import wtmm, WtmmResult
+from .leaders import wavelet_leaders, wavelet_leader_analysis, WaveletLeaderResult
+from .boxcount import boxcount_dimension, generalized_dimensions
+from .sliding import sliding_mfdfa, SlidingMfdfaResult
+from .surrogates import (
+    shuffle,
+    phase_randomized,
+    iaaft,
+    multifractality_test,
+    SurrogateTestResult,
+)
+
+__all__ = [
+    "daubechies_filter",
+    "dwt",
+    "idwt",
+    "dwt_max_level",
+    "modwt",
+    "cwt",
+    "dfa",
+    "DfaResult",
+    "mfdfa",
+    "MfdfaResult",
+    "rs_analysis",
+    "aggregated_variance",
+    "periodogram_gph",
+    "wavelet_variance_hurst",
+    "hurst_summary",
+    "structure_functions",
+    "StructureFunctionResult",
+    "legendre_spectrum",
+    "SingularitySpectrum",
+    "partition_function_tau",
+    "spectrum_width",
+    "wtmm",
+    "WtmmResult",
+    "wavelet_leaders",
+    "wavelet_leader_analysis",
+    "WaveletLeaderResult",
+    "boxcount_dimension",
+    "generalized_dimensions",
+    "sliding_mfdfa",
+    "SlidingMfdfaResult",
+    "shuffle",
+    "phase_randomized",
+    "iaaft",
+    "multifractality_test",
+    "SurrogateTestResult",
+]

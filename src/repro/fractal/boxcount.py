@@ -1,0 +1,100 @@
+"""Box-counting and generalized (Rényi) dimensions.
+
+Two classical geometric tools used alongside the spectrum analyses:
+
+* :func:`boxcount_dimension` — the Minkowski–Bouligand dimension of a
+  signal's *graph*, estimated by covering the graph with square boxes
+  of shrinking side.  For fBm with exponent H the graph dimension is
+  ``2 - H``; for a smooth curve it is 1.
+* :func:`generalized_dimensions` — the Rényi dimension profile
+  ``D(q) = tau(q) / (q - 1)`` of a measure on a dyadic grid.  For a
+  multifractal measure ``D(q)`` decreases in q; for the uniform measure
+  it is identically 1.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import as_1d_float_array
+from ..exceptions import AnalysisError, ValidationError
+from ..stats.regression import LineFit, fit_line
+from .spectrum import partition_function_tau
+
+
+def boxcount_dimension(
+    values,
+    *,
+    min_exponent: int = 1,
+    max_exponent: int | None = None,
+) -> Tuple[float, float, LineFit]:
+    """Box-counting dimension of the signal's graph.
+
+    The signal is rescaled to the unit square; boxes of side ``2**-k``
+    cover its graph column by column (for each column, the number of
+    boxes is the vertical extent of the signal inside it).  The slope of
+    ``log2 N(k)`` against ``k`` estimates the dimension.
+
+    Returns ``(dimension, stderr, fit)``.
+    """
+    x = as_1d_float_array(values, name="values", min_length=64)
+    n = x.size
+    n_levels = int(np.floor(np.log2(n)))
+    if max_exponent is None:
+        max_exponent = n_levels - 2
+    if not (1 <= min_exponent < max_exponent <= n_levels):
+        raise ValidationError(
+            f"exponent range [{min_exponent}, {max_exponent}] invalid for length {n}"
+        )
+
+    span = float(np.max(x) - np.min(x))
+    if span == 0:
+        raise AnalysisError("constant signal: graph dimension undefined")
+    unit = (x - np.min(x)) / span  # into [0, 1]
+
+    exponents = np.arange(min_exponent, max_exponent + 1)
+    counts = np.empty(exponents.size)
+    for i, k in enumerate(exponents):
+        n_boxes = 2**k
+        eps = 1.0 / n_boxes
+        edges = np.linspace(0, n, n_boxes + 1).astype(int)
+        total = 0
+        for b in range(n_boxes):
+            lo, hi = edges[b], edges[b + 1]
+            if hi <= lo:
+                continue
+            seg = unit[lo:hi + 1 if hi < n else hi]
+            v_lo = np.floor(np.min(seg) / eps)
+            v_hi = np.floor(np.max(seg) / eps)
+            total += int(v_hi - v_lo) + 1
+        counts[i] = total
+
+    fit = fit_line(exponents.astype(float), np.log2(counts))
+    return float(fit.slope), float(fit.stderr_slope), fit
+
+
+def generalized_dimensions(measure, *, q=None) -> Tuple[np.ndarray, np.ndarray]:
+    """Rényi dimensions ``D(q) = tau(q) / (q - 1)`` of a dyadic measure.
+
+    ``q = 1`` (the information dimension) is evaluated by the standard
+    limit ``D1 = d tau / d q`` at 1, approximated with a small secant.
+    Returns ``(q, D)``.
+    """
+    q_arr = np.linspace(-5.0, 5.0, 21) if q is None else np.asarray(q, dtype=float)
+    eps = 1e-3
+    # Evaluate tau on the requested grid plus the secant points around 1.
+    q_eval = np.unique(np.concatenate([q_arr, [1.0 - eps, 1.0 + eps]]))
+    q_out, tau, __ = partition_function_tau(measure, q=q_eval)
+
+    tau_of = dict(zip(q_out.tolist(), tau.tolist()))
+    d1 = (tau_of[1.0 + eps] - tau_of[1.0 - eps]) / (2 * eps)
+
+    dims = np.empty(q_arr.size)
+    for i, qi in enumerate(q_arr):
+        if abs(qi - 1.0) < 1e-9:
+            dims[i] = d1
+        else:
+            dims[i] = tau_of[qi] / (qi - 1.0)
+    return q_arr, dims

@@ -1,0 +1,190 @@
+"""Classical Hurst-exponent estimators.
+
+Four structurally different estimators of the self-similarity exponent H
+of a stationary (noise-like) series, used together in the paper-style
+"is this counter long-range dependent?" table (experiment T1):
+
+* :func:`rs_analysis` — Hurst's rescaled-range statistic.
+* :func:`aggregated_variance` — variance of block means vs block size.
+* :func:`periodogram_gph` — Geweke–Porter-Hudak log-periodogram
+  regression at low frequencies.
+* :func:`wavelet_variance_hurst` — Abry–Veitch wavelet-variance slope,
+  built on our MODWT.
+
+:func:`hurst_summary` runs all of them and reports the spread, which is
+itself a useful robustness check (a well-behaved LRD series gives
+mutually consistent estimates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_in_range, check_positive_int
+from ..exceptions import AnalysisError
+from ..stats.regression import fit_line, fit_line_wls
+from .wavelets import daubechies_filter, modwt
+
+
+@dataclass(frozen=True)
+class HurstEstimate:
+    """A single Hurst estimate with its regression standard error."""
+
+    h: float
+    stderr: float
+    method: str
+
+
+def rs_analysis(values, *, min_block: int = 16, n_block_sizes: int = 12) -> HurstEstimate:
+    """Rescaled-range (R/S) estimate of H.
+
+    For each block size ``m``, the series is cut into blocks; in each
+    block the range of the cumulative mean-adjusted sums is divided by
+    the block standard deviation; ``E[R/S] ~ m^H``.
+    """
+    x = as_1d_float_array(values, name="values", min_length=64)
+    check_positive_int(min_block, name="min_block", minimum=4)
+    n = x.size
+    max_block = n // 4
+    if max_block <= min_block:
+        raise AnalysisError(f"series too short for R/S: need > {4 * min_block} samples")
+    sizes = np.unique(np.round(np.geomspace(min_block, max_block, n_block_sizes)).astype(int))
+
+    log_m, log_rs = [], []
+    for m in sizes:
+        n_blocks = n // m
+        blocks = x[: n_blocks * m].reshape(n_blocks, m)
+        means = blocks.mean(axis=1, keepdims=True)
+        cums = np.cumsum(blocks - means, axis=1)
+        ranges = cums.max(axis=1) - cums.min(axis=1)
+        stds = blocks.std(axis=1)
+        ok = stds > 0
+        if ok.sum() < 1:
+            continue
+        rs = np.mean(ranges[ok] / stds[ok])
+        if rs > 0:
+            log_m.append(np.log2(m))
+            log_rs.append(np.log2(rs))
+    if len(log_m) < 3:
+        raise AnalysisError("fewer than 3 usable block sizes in R/S analysis")
+    fit = fit_line(np.asarray(log_m), np.asarray(log_rs))
+    return HurstEstimate(h=fit.slope, stderr=fit.stderr_slope, method="rs")
+
+
+def aggregated_variance(values, *, min_block: int = 4, n_block_sizes: int = 15) -> HurstEstimate:
+    """Aggregated-variance estimate of H.
+
+    The variance of block means of an LRD series decays as
+    ``m^{2H - 2}``; the slope of log Var vs log m gives ``2H - 2``.
+    """
+    x = as_1d_float_array(values, name="values", min_length=64)
+    check_positive_int(min_block, name="min_block", minimum=2)
+    n = x.size
+    max_block = n // 8
+    if max_block <= min_block:
+        raise AnalysisError(f"series too short for aggregated variance")
+    sizes = np.unique(np.round(np.geomspace(min_block, max_block, n_block_sizes)).astype(int))
+
+    log_m, log_var = [], []
+    for m in sizes:
+        n_blocks = n // m
+        if n_blocks < 4:
+            continue
+        means = x[: n_blocks * m].reshape(n_blocks, m).mean(axis=1)
+        v = np.var(means)
+        if v > 0:
+            log_m.append(np.log2(m))
+            log_var.append(np.log2(v))
+    if len(log_m) < 3:
+        raise AnalysisError("fewer than 3 usable block sizes in aggregated variance")
+    fit = fit_line(np.asarray(log_m), np.asarray(log_var))
+    h = 1.0 + fit.slope / 2.0
+    return HurstEstimate(h=float(h), stderr=fit.stderr_slope / 2.0, method="aggvar")
+
+
+def periodogram_gph(values, *, bandwidth_exponent: float = 0.5) -> HurstEstimate:
+    """Geweke–Porter-Hudak log-periodogram regression.
+
+    Regresses ``log I(w_j)`` on ``-2 log(2 sin(w_j / 2))`` over the lowest
+    ``m = n ** bandwidth_exponent`` Fourier frequencies; the slope
+    estimates the memory parameter ``d`` and ``H = d + 1/2``.
+    """
+    x = as_1d_float_array(values, name="values", min_length=128)
+    check_in_range(bandwidth_exponent, name="bandwidth_exponent", low=0.1, high=0.9)
+    n = x.size
+    m = int(n**bandwidth_exponent)
+    if m < 8:
+        raise AnalysisError("too few low frequencies for GPH")
+    centered = x - np.mean(x)
+    spec = np.abs(np.fft.rfft(centered)) ** 2 / (2.0 * np.pi * n)
+    freqs = 2.0 * np.pi * np.arange(len(spec)) / n
+    # Skip the zero frequency; use frequencies 1..m.
+    I = spec[1 : m + 1]
+    w = freqs[1 : m + 1]
+    if np.any(I <= 0):
+        raise AnalysisError("zero periodogram ordinates (constant input?)")
+    regressor = -2.0 * np.log(2.0 * np.sin(w / 2.0))
+    fit = fit_line(regressor, np.log(I))
+    d = fit.slope
+    return HurstEstimate(h=float(d + 0.5), stderr=fit.stderr_slope, method="gph")
+
+
+def wavelet_variance_hurst(
+    values, *, wavelet: int = 2, min_level: int = 2, max_level: int | None = None,
+) -> HurstEstimate:
+    """Abry–Veitch wavelet-variance estimate of H for a noise-like series.
+
+    The *MODWT* detail variance at level ``j`` of an LRD noise scales as
+    ``2^{j (2H - 2)}`` (the undecimated transform carries an extra
+    ``2^{-j}`` relative to the DWT's ``2^{j (2H - 1)}`` because its
+    filters are renormalised by ``2^{-j/2}`` per level); a weighted
+    regression of log2 variance on j therefore estimates
+    ``H = (slope + 2) / 2``.  Weights follow the per-level coefficient
+    counts.
+    """
+    x = as_1d_float_array(values, name="values", min_length=128)
+    h_filter = daubechies_filter(wavelet)
+    deepest = int(np.floor(np.log2(x.size / (h_filter.size - 1.0))))
+    if max_level is None:
+        max_level = max(deepest - 1, min_level + 1)
+    if max_level <= min_level:
+        raise AnalysisError(f"level range [{min_level}, {max_level}] is empty")
+    coeffs = modwt(x, wavelet=wavelet, level=max_level)
+
+    levels, log_var, weights = [], [], []
+    n = x.size
+    for j in range(min_level, max_level + 1):
+        w = coeffs[j]
+        # Discard boundary-affected coefficients.
+        n_boundary = (h_filter.size - 1) * (2**j - 1)
+        core = w[min(n_boundary, w.size - 8):]
+        v = float(np.mean(core**2))
+        if v <= 0:
+            continue
+        levels.append(float(j))
+        log_var.append(np.log2(v))
+        # Variance of log2 of a chi^2 mean ~ 2 / (n_j ln^2 2); relative
+        # weights are just effective counts.
+        weights.append(max(core.size, 1))
+    if len(levels) < 3:
+        raise AnalysisError("fewer than 3 usable levels in wavelet variance")
+    fit = fit_line_wls(np.asarray(levels), np.asarray(log_var), np.asarray(weights, dtype=float))
+    h_est = (fit.slope + 2.0) / 2.0
+    return HurstEstimate(h=float(h_est), stderr=fit.stderr_slope / 2.0, method="wavelet")
+
+
+def hurst_summary(values) -> Dict[str, HurstEstimate]:
+    """Run every Hurst estimator (plus DFA) and return them keyed by method."""
+    from .dfa import dfa as run_dfa
+
+    out: Dict[str, HurstEstimate] = {}
+    out["rs"] = rs_analysis(values)
+    out["aggvar"] = aggregated_variance(values)
+    out["gph"] = periodogram_gph(values)
+    out["wavelet"] = wavelet_variance_hurst(values)
+    d = run_dfa(values)
+    out["dfa"] = HurstEstimate(h=d.alpha, stderr=d.stderr, method="dfa")
+    return out

@@ -1,0 +1,168 @@
+"""Fractional Gaussian noise and fractional Brownian motion.
+
+Three exact synthesis methods are provided:
+
+* ``"davies-harte"`` (default) — circulant embedding of the fGn
+  autocovariance; O(n log n), exact when the embedding is non-negative
+  definite (it is for all H in (0, 1) with this covariance).
+* ``"cholesky"`` — O(n^3) factorisation of the covariance matrix; slow
+  but unconditionally exact, used to cross-validate the fast path.
+* ``"hosking"`` — O(n^2) recursive (Durbin–Levinson) synthesis; exact,
+  streams sample-by-sample.
+
+fBm is the cumulative sum of fGn: ``B_H(k) = sum_{i<=k} G_H(i)``, which
+has pointwise Hölder exponent ``H`` almost surely — the canonical
+monofractal control signal in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_choice, check_in_range, check_positive, check_positive_int
+from ..exceptions import AnalysisError
+
+
+def _fgn_autocovariance(n: int, hurst: float) -> np.ndarray:
+    """Autocovariance gamma(k) of unit-variance fGn, k = 0..n-1."""
+    k = np.arange(n, dtype=float)
+    return 0.5 * (
+        np.abs(k + 1) ** (2 * hurst)
+        - 2 * np.abs(k) ** (2 * hurst)
+        + np.abs(k - 1) ** (2 * hurst)
+    )
+
+
+def fgn(
+    n: int,
+    hurst: float,
+    *,
+    rng: np.random.Generator | None = None,
+    method: str = "davies-harte",
+    sigma: float = 1.0,
+) -> np.ndarray:
+    """Sample ``n`` points of fractional Gaussian noise with exponent ``hurst``.
+
+    Parameters
+    ----------
+    n:
+        Series length.
+    hurst:
+        Hurst exponent in (0, 1).  ``H = 0.5`` gives white noise; larger H
+        gives long-range dependence.
+    rng:
+        Source of randomness; a fresh default generator when omitted.
+    method:
+        ``"davies-harte"``, ``"cholesky"`` or ``"hosking"``.
+    sigma:
+        Marginal standard deviation of each sample.
+    """
+    check_positive_int(n, name="n")
+    check_in_range(hurst, name="hurst", low=0.0, high=1.0,
+                   inclusive_low=False, inclusive_high=False)
+    check_positive(sigma, name="sigma")
+    check_choice(method, name="method", choices=("davies-harte", "cholesky", "hosking"))
+    if rng is None:
+        rng = np.random.default_rng()
+
+    if abs(hurst - 0.5) < 1e-12:
+        return sigma * rng.standard_normal(n)
+
+    if method == "davies-harte":
+        out = _fgn_davies_harte(n, hurst, rng)
+    elif method == "cholesky":
+        out = _fgn_cholesky(n, hurst, rng)
+    else:
+        out = _fgn_hosking(n, hurst, rng)
+    return sigma * out
+
+
+def _fgn_davies_harte(n: int, hurst: float, rng: np.random.Generator) -> np.ndarray:
+    """Circulant-embedding synthesis (exact, O(n log n)).
+
+    Builds the circulant extension of the fGn covariance, takes the
+    square root of its eigenvalues, fills the spectrum with complex
+    Gaussians respecting Hermitian symmetry, and inverts.  The target is
+
+    ``X_j = m^{-1/2} * sum_k sqrt(lambda_k) Z_k e^{2 pi i j k / m}``
+
+    which with numpy's ``irfft`` convention (which divides by m) becomes
+    ``sqrt(m) * irfft(Y)`` for the half-spectrum ``Y_k = sqrt(lambda_k) Z_k``.
+    """
+    if n == 1:
+        return rng.standard_normal(1)
+    gamma = _fgn_autocovariance(n, hurst)
+    # First row of the circulant matrix: gamma(0..n-1), then mirror.
+    row = np.concatenate([gamma, gamma[-2:0:-1]])
+    m = row.size  # 2n - 2, always even for n >= 2
+    eigenvalues = np.fft.rfft(row).real
+    # Tiny negative eigenvalues from roundoff are clipped; genuinely
+    # negative ones would mean the embedding failed.
+    if np.min(eigenvalues) < -1e-8 * np.max(eigenvalues):
+        raise AnalysisError(
+            f"circulant embedding not nonneg-definite for n={n}, H={hurst}"
+        )
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+
+    n_freq = eigenvalues.size  # m//2 + 1
+    z = (rng.standard_normal(n_freq) + 1j * rng.standard_normal(n_freq)) / np.sqrt(2.0)
+    # DC and Nyquist components of a real signal's spectrum are real.
+    z[0] = rng.standard_normal()
+    z[-1] = rng.standard_normal()
+    spectrum = np.sqrt(eigenvalues) * z
+    sample = np.sqrt(m) * np.fft.irfft(spectrum, n=m)
+    return sample[:n]
+
+
+def _fgn_cholesky(n: int, hurst: float, rng: np.random.Generator) -> np.ndarray:
+    """Covariance-matrix Cholesky synthesis (exact, O(n^3))."""
+    if n > 4096:
+        raise AnalysisError("cholesky method is O(n^3); use davies-harte for n > 4096")
+    gamma = _fgn_autocovariance(n, hurst)
+    idx = np.abs(np.arange(n)[:, None] - np.arange(n)[None, :])
+    cov = gamma[idx]
+    chol = np.linalg.cholesky(cov)
+    return chol @ rng.standard_normal(n)
+
+
+def _fgn_hosking(n: int, hurst: float, rng: np.random.Generator) -> np.ndarray:
+    """Durbin–Levinson recursive synthesis (exact, O(n^2))."""
+    gamma = _fgn_autocovariance(n, hurst)
+    out = np.empty(n)
+    phi = np.zeros(n)
+    prev_phi = np.zeros(n)
+    v = gamma[0]
+    out[0] = rng.standard_normal() * np.sqrt(v)
+    for t in range(1, n):
+        # Update partial-correlation coefficients.
+        kappa = gamma[t]
+        if t > 1:
+            kappa -= np.dot(prev_phi[: t - 1], gamma[t - 1 : 0 : -1])
+        kappa /= v
+        phi[t - 1] = kappa
+        if t > 1:
+            phi[: t - 1] = prev_phi[: t - 1] - kappa * prev_phi[t - 2 :: -1]
+        v *= 1.0 - kappa**2
+        mean = np.dot(phi[:t], out[t - 1 :: -1][:t])
+        out[t] = mean + rng.standard_normal() * np.sqrt(v)
+        prev_phi[:t] = phi[:t]
+    return out
+
+
+def fbm(
+    n: int,
+    hurst: float,
+    *,
+    rng: np.random.Generator | None = None,
+    method: str = "davies-harte",
+    sigma: float = 1.0,
+) -> np.ndarray:
+    """Sample fractional Brownian motion (cumulative sum of fGn).
+
+    The returned path starts at 0 and has ``n`` points; its pointwise
+    Hölder exponent equals ``hurst`` everywhere, almost surely.
+    """
+    noise = fgn(n, hurst, rng=rng, method=method, sigma=sigma)
+    path = np.cumsum(noise)
+    path -= path[0]
+    return path

@@ -1,0 +1,84 @@
+"""Standalone heavy-tailed ON/OFF aggregate-rate generator.
+
+The theoretical backbone of the workload model, available directly: the
+superposition of M independent sources with Pareto(shape) ON and OFF
+durations has an aggregate instantaneous rate whose cumulative process
+converges (after centring/rescaling) to fractional Brownian motion with
+
+``H = (3 - shape) / 2``    (Taqqu, Willinger & Sherman 1997).
+
+Used to validate that the memsim workload really inherits the predicted
+Hurst exponent, independent of the memory-manager dynamics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_in_range, check_positive, check_positive_int
+
+
+def onoff_aggregate_rate(
+    n: int,
+    *,
+    n_sources: int = 32,
+    shape: float = 1.4,
+    mean_on: float = 10.0,
+    mean_off: float = 20.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample the aggregate ON-count of M Pareto ON/OFF sources.
+
+    Returns an integer-valued series of length ``n`` (unit time step):
+    the number of sources that are ON in each slot.  Its cumulative sum
+    approaches fBm with ``H = (3 - shape) / 2``.
+    """
+    check_positive_int(n, name="n")
+    check_positive_int(n_sources, name="n_sources")
+    check_in_range(shape, name="shape", low=1.0, high=2.0,
+                   inclusive_low=False, inclusive_high=False)
+    check_positive(mean_on, name="mean_on")
+    check_positive(mean_off, name="mean_off")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    def pareto(mean: float, size: int) -> np.ndarray:
+        xm = mean * (shape - 1.0) / shape
+        return xm * (1.0 + rng.pareto(shape, size=size))
+
+    out = np.zeros(n)
+    duty = mean_on / (mean_on + mean_off)
+    for _ in range(n_sources):
+        # Start each source in stationary phase: ON with probability
+        # = duty cycle, at a uniformly random point of its period.
+        t = 0.0
+        on = bool(rng.random() < duty)
+        # Residual of the first period.
+        first = pareto(mean_on if on else mean_off, 1)[0] * rng.random()
+        intervals = [first]
+        # Pre-draw enough periods to cover the horizon.
+        expected = int(n / (mean_on + mean_off) * 2 + 16)
+        ons = pareto(mean_on, expected)
+        offs = pareto(mean_off, expected)
+        i_on = i_off = 0
+        state = on
+        while t < n:
+            dur = intervals.pop() if intervals else None
+            if dur is None:
+                if state:
+                    dur = ons[i_on % expected]
+                    i_on += 1
+                else:
+                    dur = offs[i_off % expected]
+                    i_off += 1
+            if state:
+                lo = int(np.floor(t))
+                hi = int(np.ceil(min(t + dur, n)))
+                # Add the exact covered fraction per slot.
+                for slot in range(lo, hi):
+                    cover = min(t + dur, slot + 1) - max(t, slot)
+                    if cover > 0:
+                        out[slot] += cover
+            t += dur
+            state = not state
+    return out

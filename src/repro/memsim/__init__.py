@@ -1,0 +1,69 @@
+"""OS memory-subsystem simulator — the paper's testbed, as software.
+
+The DSN'03 study stressed physical Windows NT 4.0 / Windows 2000 hosts
+until they crashed, recording memory performance counters.  This package
+replaces that testbed with a discrete-event simulation that preserves the
+generative structure of those counters:
+
+* a page-granular **memory manager** with physical frames, a commit
+  limit backed by a paging file, kernel pools, working-set trimming and
+  thrashing dynamics (:mod:`.memory`);
+* a **heavy-tailed ON/OFF workload** whose superposition produces the
+  long-range-dependent, bursty demand that makes real memory counters
+  (multi)fractal (:mod:`.workloads`);
+* **aging faults** — leaks in process heaps and kernel pools,
+  allocator fragmentation — that slowly consume resources the way aging
+  software does (:mod:`.faults`);
+* a perfmon-style **counter sampler** with occasional dropped samples
+  (:mod:`.sampler`);
+* the :class:`~repro.memsim.machine.Machine` assembly that runs a
+  stress-to-crash experiment and returns the trace bundle plus the
+  ground-truth crash time (:mod:`.machine`).
+
+Quick use::
+
+    from repro.memsim import Machine, MachineConfig
+
+    result = Machine(MachineConfig.nt4(seed=1)).run()
+    print(result.crashed, result.crash_time)
+    bundle = result.bundle          # TraceBundle of counters
+"""
+
+from .config import MachineConfig, WorkloadConfig, FaultConfig, OS_PROFILES
+from .memory import MemoryManager, AllocationResult
+from .workloads import OnOffSource, SessionWorkload, BatchWorkload
+from .faults import LeakProcess, FragmentationFault
+from .sampler import CounterSampler, COUNTER_NAMES
+from .machine import Machine, RunResult, run_fleet
+from .scenarios import build_scenario, SCENARIO_NAMES
+from .rejuvenation import (
+    PeriodicRejuvenator,
+    ThresholdRejuvenator,
+    PredictiveRejuvenator,
+    attach_policy,
+)
+
+__all__ = [
+    "MachineConfig",
+    "WorkloadConfig",
+    "FaultConfig",
+    "OS_PROFILES",
+    "MemoryManager",
+    "AllocationResult",
+    "OnOffSource",
+    "SessionWorkload",
+    "BatchWorkload",
+    "LeakProcess",
+    "FragmentationFault",
+    "CounterSampler",
+    "COUNTER_NAMES",
+    "Machine",
+    "RunResult",
+    "run_fleet",
+    "PeriodicRejuvenator",
+    "ThresholdRejuvenator",
+    "PredictiveRejuvenator",
+    "attach_policy",
+    "build_scenario",
+    "SCENARIO_NAMES",
+]

@@ -1,0 +1,242 @@
+"""Configuration objects for the memory-subsystem simulator.
+
+A :class:`MachineConfig` bundles the hardware/OS parameters, the workload
+shape and the aging-fault intensities for one simulated host.  Two named
+profiles mirror the paper's two testbeds:
+
+* ``nt4`` — a late-90s server: 128 MiB RAM, modest paging file,
+  aggressive working-set trimming;
+* ``w2k`` — a 2000-era server: 256 MiB RAM, larger paging file, gentler
+  trimming.
+
+The defaults are tuned so that a stress run crashes in simulated hours
+(thousands of sampling intervals), matching the time-scale structure of
+the original experiments while staying laptop-fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .._validation import (
+    check_in_range,
+    check_positive,
+    check_positive_int,
+)
+
+PAGE_SIZE = 4096  # bytes per page, as on x86 NT
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of the synthetic stress workload.
+
+    The workload is a superposition of heavy-tailed ON/OFF sources (the
+    classical construction that yields long-range-dependent aggregate
+    demand) plus a session layer that churns process working sets.
+
+    Attributes
+    ----------
+    n_sources:
+        Number of independent ON/OFF sources.
+    pareto_shape:
+        Tail index of ON/OFF durations; values in (1, 2) give LRD with
+        ``H = (3 - shape) / 2``.
+    mean_on, mean_off:
+        Mean ON and OFF durations, seconds.
+    on_rate_pages:
+        Page-allocation rate of a source while ON (pages/second).
+    hold_time:
+        Mean residence time of burst allocations before release, seconds.
+    session_rate:
+        Poisson arrival rate of sessions (new worker processes), per
+        second.
+    session_pages_mean:
+        Mean working-set size of a session, pages (log-normal).
+    session_lifetime:
+        Mean session lifetime, seconds (exponential).
+    """
+
+    n_sources: int = 16
+    pareto_shape: float = 1.4
+    mean_on: float = 20.0
+    mean_off: float = 40.0
+    on_rate_pages: float = 48.0
+    hold_time: float = 30.0
+    session_rate: float = 0.05
+    session_pages_mean: float = 560.0
+    session_lifetime: float = 300.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.n_sources, name="n_sources")
+        check_in_range(self.pareto_shape, name="pareto_shape", low=1.0, high=2.0,
+                       inclusive_low=False, inclusive_high=False)
+        for name in ("mean_on", "mean_off", "on_rate_pages", "hold_time",
+                     "session_rate", "session_pages_mean", "session_lifetime"):
+            check_positive(getattr(self, name), name=name)
+
+    @property
+    def theoretical_hurst(self) -> float:
+        """H of the aggregate ON/OFF demand: (3 - shape) / 2 (Taqqu)."""
+        return (3.0 - self.pareto_shape) / 2.0
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Aging-fault intensities.
+
+    Attributes
+    ----------
+    heap_leak_fraction:
+        Fraction of each released burst that is leaked (never freed) —
+        models unreleased heap allocations in aged server processes.
+    pool_leak_rate:
+        Kernel nonpaged-pool leak rate in bytes/second — models handle
+        and object leaks in drivers/services.
+    pool_leak_burst_cv:
+        Coefficient of variation of individual pool-leak increments
+        (leaks arrive in bursts, not a smooth drip).
+    fragmentation_rate:
+        Expected bytes of commit capacity permanently lost per byte
+        allocated (allocator fragmentation / address-space pollution).
+        The default 1e-4 loses a few tens of MB over a day-scale stress
+        run.
+    fault_onset_time:
+        Simulated seconds before the aging faults activate.  A freshly
+        booted (or rejuvenated) system runs healthy for a while before
+        state decay sets in; this also gives detectors an honest healthy
+        calibration window, as in the paper's protocol.
+    """
+
+    heap_leak_fraction: float = 0.008
+    pool_leak_rate: float = 1000.0
+    pool_leak_burst_cv: float = 1.5
+    fragmentation_rate: float = 1e-4
+    fault_onset_time: float = 1800.0
+
+    def __post_init__(self) -> None:
+        check_in_range(self.heap_leak_fraction, name="heap_leak_fraction", low=0.0, high=0.5)
+        check_in_range(self.pool_leak_rate, name="pool_leak_rate", low=0.0, high=1e9)
+        check_positive(self.pool_leak_burst_cv, name="pool_leak_burst_cv")
+        check_in_range(self.fragmentation_rate, name="fragmentation_rate", low=0.0, high=0.01)
+        check_in_range(self.fault_onset_time, name="fault_onset_time", low=0.0, high=1e9)
+
+    def scaled(self, factor: float) -> "FaultConfig":
+        """Return a copy with every aging intensity multiplied by ``factor``."""
+        check_positive(factor, name="factor")
+        return FaultConfig(
+            heap_leak_fraction=min(self.heap_leak_fraction * factor, 0.5),
+            pool_leak_rate=self.pool_leak_rate * factor,
+            pool_leak_burst_cv=self.pool_leak_burst_cv,
+            fragmentation_rate=self.fragmentation_rate * factor,
+            fault_onset_time=self.fault_onset_time,
+        )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full configuration of one simulated host.
+
+    Attributes
+    ----------
+    ram_bytes:
+        Physical memory size.
+    pagefile_bytes:
+        Backing-store size; the commit limit is ``ram + pagefile``.
+    nonpaged_pool_bytes:
+        Kernel nonpaged pool capacity (exhaustion crashes the host, as
+        on real NT).
+    trim_threshold:
+        Fraction of RAM free below which the OS starts trimming working
+        sets.
+    thrash_threshold:
+        Fraction of RAM free below which paging churn (thrashing)
+        dynamics kick in.
+    trim_aggressiveness:
+        Fraction of trimmable pages reclaimed per trim pass.
+    sampling_interval:
+        Performance-counter sampling period, seconds.
+    sample_drop_probability:
+        Probability an individual counter sample is lost (real
+        collectors drop samples under load).
+    max_run_seconds:
+        Hard stop for the simulation if no crash occurs.
+    seed:
+        Root RNG seed for the run.
+    os_profile:
+        Profile label carried into trace metadata.
+    """
+
+    ram_bytes: int = 128 * 1024 * 1024
+    pagefile_bytes: int = 192 * 1024 * 1024
+    nonpaged_pool_bytes: int = 48 * 1024 * 1024
+    trim_threshold: float = 0.12
+    thrash_threshold: float = 0.10
+    trim_aggressiveness: float = 0.30
+    sampling_interval: float = 1.0
+    sample_drop_probability: float = 0.002
+    max_run_seconds: float = 200_000.0
+    seed: int = 0
+    os_profile: str = "nt4"
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.ram_bytes, name="ram_bytes", minimum=PAGE_SIZE * 1024)
+        check_positive_int(self.pagefile_bytes, name="pagefile_bytes", minimum=PAGE_SIZE)
+        check_positive_int(self.nonpaged_pool_bytes, name="nonpaged_pool_bytes",
+                           minimum=PAGE_SIZE)
+        check_in_range(self.trim_threshold, name="trim_threshold", low=0.01, high=0.5)
+        check_in_range(self.thrash_threshold, name="thrash_threshold", low=0.005, high=0.4)
+        check_in_range(self.trim_aggressiveness, name="trim_aggressiveness", low=0.01, high=1.0)
+        check_positive(self.sampling_interval, name="sampling_interval")
+        check_in_range(self.sample_drop_probability, name="sample_drop_probability",
+                       low=0.0, high=0.2)
+        check_positive(self.max_run_seconds, name="max_run_seconds")
+
+    # -- named profiles ------------------------------------------------------
+
+    @classmethod
+    def nt4(cls, seed: int = 0, **overrides) -> "MachineConfig":
+        """The NT-4.0-like testbed profile."""
+        cfg = cls(seed=seed, os_profile="nt4")
+        return replace(cfg, **overrides) if overrides else cfg
+
+    @classmethod
+    def w2k(cls, seed: int = 0, **overrides) -> "MachineConfig":
+        """The Windows-2000-like testbed profile: more RAM, gentler trim."""
+        cfg = cls(
+            ram_bytes=256 * 1024 * 1024,
+            pagefile_bytes=384 * 1024 * 1024,
+            nonpaged_pool_bytes=96 * 1024 * 1024,
+            trim_threshold=0.10,
+            thrash_threshold=0.08,
+            trim_aggressiveness=0.22,
+            seed=seed,
+            os_profile="w2k",
+            faults=FaultConfig(
+                heap_leak_fraction=0.016,
+                pool_leak_rate=2600.0,
+                pool_leak_burst_cv=1.5,
+                fragmentation_rate=1e-4,
+                fault_onset_time=1800.0,
+            ),
+        )
+        return replace(cfg, **overrides) if overrides else cfg
+
+    @property
+    def total_pages(self) -> int:
+        """Physical page frames."""
+        return self.ram_bytes // PAGE_SIZE
+
+    @property
+    def commit_limit_bytes(self) -> int:
+        """RAM plus paging file: the hard ceiling on committed memory."""
+        return self.ram_bytes + self.pagefile_bytes
+
+
+OS_PROFILES: Dict[str, classmethod] = {
+    "nt4": MachineConfig.nt4,
+    "w2k": MachineConfig.w2k,
+}

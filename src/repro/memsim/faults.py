@@ -1,0 +1,163 @@
+"""Aging-fault models.
+
+Software aging is the accumulation of *small, individually harmless*
+errors in long-running software state.  Three mechanisms, matching the
+fault taxonomy of the rejuvenation literature (Vaidyanathan & Trivedi):
+
+* :class:`LeakProcess` — a workload listener that withholds a fraction
+  of every release (heap leaks in server processes) and, as a kernel
+  process, drips bursty allocations into the nonpaged pool (handle and
+  driver-object leaks).
+* :class:`FragmentationFault` — allocation churn slowly erodes usable
+  commit capacity (allocator fragmentation / address-space pollution).
+
+Both are deliberately *stochastic*: real leaks arrive in bursts tied to
+request processing, which is exactly why trend-extrapolation baselines
+are noisy and the paper's regularity-based indicator has something to
+detect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..simkernel import PeriodicProcess, RngRegistry, Simulator
+from .config import FaultConfig
+from .memory import MemoryManager
+
+
+class LeakProcess(PeriodicProcess):
+    """Heap-leak listener plus kernel-pool leak drip.
+
+    As a :class:`~repro.memsim.workloads.WorkloadListener` it withholds
+    ``heap_leak_fraction`` of every release (binomially, so small
+    releases often leak nothing — leaks are lumpy).  As a periodic
+    process it injects pool leaks whose sizes follow a gamma
+    distribution with the configured burst coefficient of variation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rngs: RngRegistry,
+        memory: MemoryManager,
+        faults: FaultConfig,
+        *,
+        period: float = 5.0,
+        on_failure: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__(sim, rngs, "fault.leak", period)
+        self.memory = memory
+        self.faults = faults
+        self.on_failure = on_failure
+        self.leaked_heap_pages = 0
+        self.leaked_pool_bytes = 0.0
+
+    # -- WorkloadListener ------------------------------------------------------
+
+    def on_allocation(self, pages: int) -> None:
+        """Leaks do not react to allocations."""
+        return None
+
+    def on_release(self, pages: int) -> int:
+        """Withhold a binomial share of the released pages, pinning them.
+
+        Leaked objects keep live references, so the pager can never
+        evict them: each leak permanently shrinks usable physical
+        memory, which is the gradual squeeze behind aging crashes.
+        Inactive before the configured fault onset time.
+        """
+        if self.faults.heap_leak_fraction <= 0.0:
+            return 0
+        if self.sim.now < self.faults.fault_onset_time:
+            return 0
+        leaked = int(self.rng.binomial(pages, self.faults.heap_leak_fraction))
+        if leaked > 0:
+            self.leaked_heap_pages += leaked
+            self.memory.pin(leaked)
+        return leaked
+
+    # -- periodic pool drip ------------------------------------------------------
+
+    def tick(self) -> None:
+        """Inject one pool-leak burst (mean rate * period bytes)."""
+        if self.faults.pool_leak_rate <= 0.0:
+            return
+        if self.sim.now < self.faults.fault_onset_time:
+            return
+        mean_bytes = self.faults.pool_leak_rate * self.period
+        cv = self.faults.pool_leak_burst_cv
+        # Gamma with mean `mean_bytes` and the requested CV.
+        shape = 1.0 / (cv * cv)
+        scale = mean_bytes / shape
+        nbytes = float(self.rng.gamma(shape, scale))
+        if nbytes < 1.0:
+            return
+        result = self.memory.pool_allocate(nbytes)
+        if result.ok:
+            self.leaked_pool_bytes += nbytes
+        elif self.on_failure is not None:
+            self.on_failure(result.failure_reason or "pool")
+
+
+class FragmentationFault:
+    """Commit-capacity erosion proportional to allocation churn.
+
+    A :class:`~repro.memsim.workloads.WorkloadListener` that converts
+    every allocated page into a tiny expected loss of usable commit
+    capacity: ``loss_bytes ~ fragmentation_rate * pages * PAGE_SIZE``
+    with exponential jitter.  Over a multi-hour run this compounds into
+    the slow squeeze real allocators exhibit.
+    """
+
+    def __init__(
+        self,
+        memory: MemoryManager,
+        faults: FaultConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.memory = memory
+        self.faults = faults
+        self._rng = rng
+        self.total_lost_bytes = 0.0
+
+    def on_allocation(self, pages: int) -> None:
+        """Erode capacity in proportion to this allocation's size."""
+        if self.faults.fragmentation_rate <= 0.0:
+            return
+        from .config import PAGE_SIZE
+
+        expected = self.faults.fragmentation_rate * pages * PAGE_SIZE
+        loss = float(self._rng.exponential(expected)) if expected > 0 else 0.0
+        if loss > 0:
+            self.memory.add_fragmentation_loss(loss)
+            self.total_lost_bytes += loss
+
+    def on_release(self, pages: int) -> int:
+        """Fragmentation never withholds pages."""
+        return 0
+
+
+class CompositeListener:
+    """Fan a workload's callbacks out to several listeners.
+
+    Leak decisions compose additively but are capped at the release
+    size (a page can only be leaked once).
+    """
+
+    def __init__(self, *listeners) -> None:
+        self.listeners = list(listeners)
+
+    def on_allocation(self, pages: int) -> None:
+        for listener in self.listeners:
+            listener.on_allocation(pages)
+
+    def on_release(self, pages: int) -> int:
+        leaked = 0
+        for listener in self.listeners:
+            leaked += listener.on_release(pages - leaked)
+            if leaked >= pages:
+                return pages
+        return leaked

@@ -1,0 +1,346 @@
+"""The simulated kernel memory manager.
+
+Aggregate page-accounting model of an NT-style virtual memory system:
+
+* **Physical frames** hold resident pages; what is left over is the
+  `Available Bytes` counter.
+* **Commit**: every live allocation is committed; committed pages beyond
+  physical residency live in the paging file.  ``commit <= ram +
+  pagefile - fragmentation losses`` is a hard invariant; an allocation
+  that would break it *fails*, and the machine treats repeated commit
+  failure as the crash.
+* **Kernel nonpaged pool**: a separate, non-pageable arena consumed by
+  pool allocations (and slowly by pool leaks); exhaustion is the second
+  crash mode, mirroring NT bugchecks on pool depletion.
+* **Working-set trimming**: when free physical memory drops below the
+  trim threshold the OS moves cold resident pages to the paging file
+  (pages-out); re-touching them later faults them back in (pages-in).
+* **Thrashing**: below the thrash threshold every allocation causes
+  extra page-out/page-in churn proportional to the deficit — the
+  mechanism that destabilises counter dynamics shortly before death.
+
+The manager is deliberately *aggregate* (no per-page metadata): the
+analysis consumes counter time series, and this level of modelling
+reproduces their joint dynamics while keeping multi-day runs fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .config import PAGE_SIZE, MachineConfig
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of an allocation request.
+
+    Attributes
+    ----------
+    ok:
+        Whether the allocation succeeded.
+    failure_reason:
+        ``"commit"`` or ``"pool"`` when it did not, else None.
+    """
+
+    ok: bool
+    failure_reason: Optional[str] = None
+
+
+class MemoryManager:
+    """Aggregate page-level memory accounting for one machine."""
+
+    def __init__(self, config: MachineConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self.total_pages = config.total_pages
+        self.commit_limit_pages = config.commit_limit_bytes // PAGE_SIZE
+
+        # Baseline OS residency: kernel code + system working set (~18% RAM).
+        self.os_resident_pages = int(self.total_pages * 0.18)
+        self._pool_baseline_bytes = int(config.nonpaged_pool_bytes * 0.25)
+
+        # Mutable state (pages unless noted).
+        self.resident_pages = 0          # user-mode resident pages
+        self.pagefile_pages = 0          # pages currently paged out
+        self.pinned_pages = 0            # resident pages that can never be trimmed
+        self.pool_used_bytes = self._pool_baseline_bytes
+        self.fragmentation_lost_bytes = 0.0
+
+        # Epoch counter: bumped by rejuvenation so that stale release
+        # events from before a restart can recognise themselves.
+        self.epoch = 0
+
+        # Cumulative activity counters (monotone; sampler differentiates).
+        self.cum_pages_out = 0
+        self.cum_pages_in = 0
+        self.cum_page_faults = 0
+        self.cum_alloc_failures = 0
+        self.cum_allocated_pages = 0
+        self.cum_freed_pages = 0
+
+        self.last_failure: Optional[str] = None
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def committed_pages(self) -> int:
+        """All live user commit: resident plus paged out."""
+        return self.resident_pages + self.pagefile_pages
+
+    @property
+    def available_pages(self) -> int:
+        """Free physical frames (the `Available Bytes` counter, in pages)."""
+        pool_pages = -(-self.pool_used_bytes // PAGE_SIZE)  # ceil div
+        free = self.total_pages - self.os_resident_pages - self.resident_pages - pool_pages
+        return max(free, 0)
+
+    @property
+    def available_bytes(self) -> int:
+        """Free physical memory in bytes."""
+        return self.available_pages * PAGE_SIZE
+
+    @property
+    def effective_commit_limit_pages(self) -> int:
+        """Commit limit reduced by fragmentation losses."""
+        lost_pages = int(self.fragmentation_lost_bytes) // PAGE_SIZE
+        return max(self.commit_limit_pages - lost_pages, 0)
+
+    @property
+    def available_fraction(self) -> float:
+        """Free physical frames as a fraction of all frames."""
+        return self.available_pages / self.total_pages
+
+    # -- allocation paths -----------------------------------------------------
+
+    def allocate(self, pages: int) -> AllocationResult:
+        """Commit and make resident ``pages`` user pages.
+
+        Follows the NT order of checks: commit first (hard failure),
+        then physical residency (page out cold pages as needed, which
+        can itself fail when the paging file is full).
+        """
+        if pages <= 0:
+            raise SimulationError(f"allocation must be positive, got {pages}")
+
+        if self.committed_pages + pages > self.effective_commit_limit_pages:
+            self.cum_alloc_failures += 1
+            self.last_failure = "commit"
+            return AllocationResult(ok=False, failure_reason="commit")
+
+        shortfall = pages - self.available_pages
+        if shortfall > 0:
+            paged = self._page_out(shortfall)
+            if paged < shortfall:
+                # Could not make room: remaining resident pages are pinned
+                # or hot, and the paging file cannot absorb more.  This is
+                # physical (working-set) exhaustion, distinct from hitting
+                # the commit limit.
+                self.cum_alloc_failures += 1
+                self.last_failure = "memory"
+                return AllocationResult(ok=False, failure_reason="memory")
+
+        self.resident_pages += pages
+        self.cum_allocated_pages += pages
+        self.cum_page_faults += pages  # demand-zero faults on first touch
+
+        self._maybe_trim()
+        self._thrash_churn(pages)
+        return AllocationResult(ok=True)
+
+    def free(self, pages: int) -> None:
+        """Release ``pages`` of user commit.
+
+        Freed pages are drawn from the paging file and residency in
+        proportion to their shares, with a 2x bias toward the paging
+        file (freed data is colder than average, so it is likelier to
+        have been paged out).  A pagefile-first rule would ratchet
+        residency permanently high; pure proportionality would under-
+        release cold pages.
+        """
+        if pages <= 0:
+            raise SimulationError(f"free must be positive, got {pages}")
+        if pages > self.committed_pages:
+            raise SimulationError(
+                f"freeing {pages} pages but only {self.committed_pages} committed"
+            )
+        if self.committed_pages > 0:
+            cold_share = self.pagefile_pages / self.committed_pages
+            want_cold = int(round(pages * min(1.0, 2.0 * cold_share)))
+        else:
+            want_cold = 0
+        unpinned_resident = max(self.resident_pages - self.pinned_pages, 0)
+        from_pagefile = min(want_cold, self.pagefile_pages, pages)
+        from_resident = pages - from_pagefile
+        if from_resident > unpinned_resident:
+            # Not enough unpinned resident pages: take more from the file.
+            from_resident = unpinned_resident
+            from_pagefile = pages - from_resident
+            if from_pagefile > self.pagefile_pages:
+                raise SimulationError(
+                    "free would release pinned pages; caller accounting is wrong"
+                )
+        self.pagefile_pages -= from_pagefile
+        self.resident_pages -= from_resident
+        self.cum_freed_pages += pages
+
+    def touch_paged_out(self, pages: int) -> None:
+        """Fault ``pages`` cold pages back into residency (hard faults)."""
+        pages = min(pages, self.pagefile_pages)
+        if pages <= 0:
+            return
+        shortfall = pages - self.available_pages
+        if shortfall > 0:
+            moved = self._page_out(shortfall)
+            pages = min(pages, moved + max(self.available_pages, 0))
+            if pages <= 0:
+                return
+        self.pagefile_pages -= pages
+        self.resident_pages += pages
+        self.cum_pages_in += pages
+        self.cum_page_faults += pages
+
+    def pin(self, pages: int) -> None:
+        """Mark ``pages`` of existing commit as pinned (never trimmable).
+
+        This is how aged leaks hurt *physical* memory on real systems:
+        leaked objects keep live references (or sit in locked/driver
+        memory), so the pager cannot evict them.  The pages must already
+        be committed (a leak withholds them from ``free``); pinning
+        forces them resident, faulting them in from the paging file if
+        necessary.
+        """
+        if pages <= 0:
+            raise SimulationError(f"pin must be positive, got {pages}")
+        if self.pinned_pages + pages > self.committed_pages:
+            raise SimulationError(
+                f"pinning {pages} pages would exceed committed memory"
+            )
+        self.pinned_pages += pages
+        if self.pinned_pages > self.resident_pages:
+            self.touch_paged_out(self.pinned_pages - self.resident_pages)
+            # If the fault-in could not complete (paging file pressure),
+            # force residency — pinned pages are by definition resident —
+            # and try to evict other pages to compensate.
+            if self.pinned_pages > self.resident_pages:
+                deficit = self.pinned_pages - self.resident_pages
+                moved = min(deficit, self.pagefile_pages)
+                self.pagefile_pages -= moved
+                self.resident_pages += moved
+                self._page_out(moved)
+
+    def pool_allocate(self, nbytes: float) -> AllocationResult:
+        """Consume kernel nonpaged pool; exhaustion is fatal on real NT."""
+        if nbytes <= 0:
+            raise SimulationError(f"pool allocation must be positive, got {nbytes}")
+        if self.pool_used_bytes + nbytes > self.config.nonpaged_pool_bytes:
+            self.cum_alloc_failures += 1
+            self.last_failure = "pool"
+            return AllocationResult(ok=False, failure_reason="pool")
+        self.pool_used_bytes += int(nbytes)
+        return AllocationResult(ok=True)
+
+    def add_fragmentation_loss(self, nbytes: float) -> None:
+        """Permanently lose ``nbytes`` of commit capacity to fragmentation."""
+        if nbytes < 0:
+            raise SimulationError("fragmentation loss must be non-negative")
+        self.fragmentation_lost_bytes += nbytes
+
+    # -- paging machinery ------------------------------------------------------
+
+    def _page_out(self, pages: int) -> int:
+        """Move up to ``pages`` resident pages to the paging file.
+
+        Returns how many were actually moved (bounded by resident pages
+        that are trimmable and by paging-file capacity).
+        """
+        pagefile_capacity = self.config.pagefile_bytes // PAGE_SIZE
+        room = pagefile_capacity - self.pagefile_pages
+        # Pinned pages never leave RAM; of the rest, a fraction is hot
+        # (actively referenced) and cannot be trimmed either.
+        trimmable = int(max(self.resident_pages - self.pinned_pages, 0) * 0.85)
+        moved = max(min(pages, room, trimmable), 0)
+        if moved > 0:
+            self.resident_pages -= moved
+            self.pagefile_pages += moved
+            self.cum_pages_out += moved
+        return moved
+
+    def _maybe_trim(self) -> None:
+        """Working-set trim pass when free memory is below the threshold."""
+        if self.available_fraction >= self.config.trim_threshold:
+            return
+        target = int(self.resident_pages * self.config.trim_aggressiveness)
+        if target > 0:
+            self._page_out(target)
+
+    def _thrash_churn(self, alloc_pages: int) -> None:
+        """Extra paging churn when memory pressure reaches thrashing levels.
+
+        The deficit below the thrash threshold drives page-in/page-out
+        cycles: trimmed pages are immediately re-touched by their owners.
+        The churn magnitude is stochastic (geometric-ish bursts), which
+        is what roughens counter dynamics before death.
+        """
+        frac = self.available_fraction
+        threshold = self.config.thrash_threshold
+        if frac >= threshold:
+            return
+        severity = (threshold - frac) / threshold  # 0..1
+        burst = self._rng.geometric(p=max(0.02, 1.0 - 0.9 * severity))
+        churn = int(alloc_pages * severity * burst)
+        if churn <= 0:
+            return
+        moved = self._page_out(churn)
+        if moved > 0:
+            # Owners fault a random portion straight back in.
+            back = int(moved * self._rng.uniform(0.4, 0.95))
+            if back > 0:
+                self.touch_paged_out(back)
+
+    # -- rejuvenation --------------------------------------------------------------
+
+    def reset_user_state(self) -> None:
+        """Rejuvenate: discard every user allocation and accumulated decay.
+
+        Models a software restart (the classical rejuvenation action):
+        all user commit — including pinned leak residue — is released,
+        the kernel pool returns to its boot baseline and fragmentation
+        is cleared.  Cumulative activity counters are *not* reset (they
+        model perfmon raw counters, which survive service restarts as
+        far as the analysis is concerned).  The epoch bump lets pending
+        release events from before the restart recognise that their
+        pages are gone.
+        """
+        self.resident_pages = 0
+        self.pagefile_pages = 0
+        self.pinned_pages = 0
+        self.pool_used_bytes = self._pool_baseline_bytes
+        self.fragmentation_lost_bytes = 0.0
+        self.last_failure = None
+        self.epoch += 1
+
+    # -- invariant check (used by tests and debug runs) -------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`SimulationError` if accounting is inconsistent."""
+        if self.resident_pages < 0 or self.pagefile_pages < 0:
+            raise SimulationError("negative page accounting")
+        if self.pinned_pages < 0 or self.pinned_pages > self.resident_pages:
+            raise SimulationError(
+                f"pinned pages ({self.pinned_pages}) exceed resident "
+                f"({self.resident_pages})"
+            )
+        if self.committed_pages > self.commit_limit_pages:
+            raise SimulationError(
+                f"commit {self.committed_pages} exceeds hard limit {self.commit_limit_pages}"
+            )
+        if self.pool_used_bytes > self.config.nonpaged_pool_bytes:
+            raise SimulationError("nonpaged pool over capacity")
+        pagefile_capacity = self.config.pagefile_bytes // PAGE_SIZE
+        if self.pagefile_pages > pagefile_capacity:
+            raise SimulationError("paging file over capacity")

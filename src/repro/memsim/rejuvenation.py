@@ -1,0 +1,143 @@
+"""In-simulation rejuvenation policies.
+
+The application layer the aging-detection literature motivates: act on
+warnings *before* the crash.  Three controllers, all running inside the
+simulation next to the workload:
+
+* :class:`PeriodicRejuvenator` — restart on a fixed timer (classical
+  time-based rejuvenation; wastes restarts on healthy machines, still
+  crashes when aging outpaces the timer).
+* :class:`ThresholdRejuvenator` — restart when `AvailableBytes` stays
+  below a floor (the naive operator rule as a controller).
+* :class:`PredictiveRejuvenator` — restart when the **online
+  multifractal monitor** (:class:`repro.core.online.OnlineAgingMonitor`)
+  raises its Hölder-shift alarm: the paper's method closed into a
+  control loop.
+
+Each controller counts its restarts; together with the machine's crash
+outcome this gives the availability comparison of benchmark A3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .._validation import check_positive
+from ..core.online import OnlineAgingMonitor
+from ..simkernel import PeriodicProcess, RngRegistry, Simulator
+from .machine import Machine
+
+
+class PeriodicRejuvenator(PeriodicProcess):
+    """Restart the machine every ``interval`` simulated seconds."""
+
+    def __init__(self, sim: Simulator, rngs: RngRegistry, machine: Machine,
+                 interval: float) -> None:
+        check_positive(interval, name="interval")
+        super().__init__(sim, rngs, "rejuv.periodic", interval)
+        self.machine = machine
+        self.restarts = 0
+
+    def tick(self) -> None:
+        self.machine.rejuvenate()
+        self.restarts += 1
+
+
+class ThresholdRejuvenator(PeriodicProcess):
+    """Restart when free memory stays below ``floor_bytes``.
+
+    Checks every ``check_interval`` seconds; requires
+    ``consecutive_checks`` consecutive low readings (debounce), then
+    restarts and resets the debounce counter.
+    """
+
+    def __init__(self, sim: Simulator, rngs: RngRegistry, machine: Machine,
+                 *, floor_bytes: float, check_interval: float = 30.0,
+                 consecutive_checks: int = 4) -> None:
+        check_positive(floor_bytes, name="floor_bytes")
+        check_positive(check_interval, name="check_interval")
+        super().__init__(sim, rngs, "rejuv.threshold", check_interval)
+        self.machine = machine
+        self.floor_bytes = float(floor_bytes)
+        self.consecutive_checks = int(consecutive_checks)
+        self._low_streak = 0
+        self.restarts = 0
+
+    def tick(self) -> None:
+        if self.machine.memory.available_bytes < self.floor_bytes:
+            self._low_streak += 1
+        else:
+            self._low_streak = 0
+        if self._low_streak >= self.consecutive_checks:
+            self.machine.rejuvenate()
+            self.restarts += 1
+            self._low_streak = 0
+
+
+class PredictiveRejuvenator(PeriodicProcess):
+    """Restart when the online multifractal monitor alarms.
+
+    Every ``check_interval`` seconds the controller drains the sampler's
+    newly collected `AvailableBytes` samples into an
+    :class:`OnlineAgingMonitor`; on alarm it rejuvenates the machine and
+    re-arms with a fresh monitor (the restarted software needs a fresh
+    healthy baseline).
+    """
+
+    def __init__(self, sim: Simulator, rngs: RngRegistry, machine: Machine,
+                 *, check_interval: float = 60.0,
+                 monitor_factory=None) -> None:
+        check_positive(check_interval, name="check_interval")
+        super().__init__(sim, rngs, "rejuv.predictive", check_interval)
+        self.machine = machine
+        # Tighter-than-default monitor geometry: calibration must finish
+        # while the freshly (re)started software is still healthy (within
+        # ~2000 samples at 1 Hz), and the CUSUM is set more hair-trigger
+        # than the offline default — in a control loop a spurious restart
+        # costs seconds while a missed one costs a crash.
+        self._monitor_factory = monitor_factory or (lambda: OnlineAgingMonitor(
+            chunk_size=128, history=1024, indicator_window=512,
+            n_warmup=1, n_calibration=6, cusum_k=1.0, cusum_h=5.0,
+        ))
+        self.monitor: OnlineAgingMonitor = self._monitor_factory()
+        self._fed = 0
+        self.restarts = 0
+        self.alarm_times: list[float] = []
+
+    def tick(self) -> None:
+        times, values = self.machine.sampler.samples_of("AvailableBytes")
+        new_t = times[self._fed:]
+        new_v = values[self._fed:]
+        self._fed = len(times)
+        if not new_t:
+            return
+        if self.monitor.update_many(new_t, new_v):
+            self.alarm_times.append(self.sim.now)
+            self.machine.rejuvenate()
+            self.restarts += 1
+            self.monitor = self._monitor_factory()
+
+
+def attach_policy(machine: Machine, policy: str, **kwargs) -> Optional[PeriodicProcess]:
+    """Construct, attach and start a named policy on a machine.
+
+    ``policy`` is ``"none"``, ``"periodic"``, ``"threshold"`` or
+    ``"predictive"``; ``kwargs`` go to the controller's constructor.
+    Must be called before :meth:`Machine.run`.
+    """
+    if policy == "none":
+        return None
+    if policy == "periodic":
+        controller = PeriodicRejuvenator(machine.sim, machine.rngs, machine, **kwargs)
+    elif policy == "threshold":
+        controller = ThresholdRejuvenator(machine.sim, machine.rngs, machine, **kwargs)
+    elif policy == "predictive":
+        controller = PredictiveRejuvenator(machine.sim, machine.rngs, machine, **kwargs)
+    else:
+        from ..exceptions import ValidationError
+
+        raise ValidationError(
+            f"unknown policy {policy!r}; expected none/periodic/threshold/predictive"
+        )
+    controller.ensure_started()
+    return controller

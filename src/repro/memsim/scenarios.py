@@ -1,0 +1,126 @@
+"""Named machine scenarios.
+
+Pre-tuned machine builders for the workload archetypes the aging
+literature studies, formalising what the examples assemble by hand.
+Every scenario returns a ready-to-run :class:`~repro.memsim.machine.
+Machine`; extra components (e.g. a batch job) are attached and started.
+
+========== ============================================================
+scenario    what it models
+========== ============================================================
+``stress``  the paper's stress testbed (default Machine, unchanged)
+``webserver``  an httperf-loaded Apache-class server: many short
+            bursts, keep-alive sessions, hourly log-rotation batch job
+``database``  few, large, long-lived allocations (buffer pools) with a
+            nightly maintenance job; slower but chunkier aging
+``batch``   a compute/batch box dominated by periodic heavyweight jobs
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from .._validation import check_choice
+from .config import MachineConfig, WorkloadConfig
+from .machine import Machine
+from .workloads import BatchWorkload
+
+SCENARIO_NAMES = ("stress", "webserver", "database", "batch")
+
+_WEBSERVER_WORKLOAD = WorkloadConfig(
+    n_sources=24,
+    pareto_shape=1.3,
+    mean_on=8.0,
+    mean_off=16.0,
+    on_rate_pages=40.0,
+    hold_time=15.0,
+    session_rate=0.08,
+    session_pages_mean=300.0,
+    session_lifetime=180.0,
+)
+
+_DATABASE_WORKLOAD = WorkloadConfig(
+    n_sources=6,
+    pareto_shape=1.5,
+    mean_on=60.0,
+    mean_off=90.0,
+    on_rate_pages=40.0,
+    hold_time=60.0,           # buffer pages linger
+    session_rate=0.01,        # few, heavy connections
+    session_pages_mean=1200.0,
+    session_lifetime=800.0,
+)
+
+_BATCH_WORKLOAD = WorkloadConfig(
+    n_sources=4,
+    pareto_shape=1.6,
+    mean_on=15.0,
+    mean_off=45.0,
+    on_rate_pages=30.0,
+    hold_time=20.0,
+    session_rate=0.02,
+    session_pages_mean=400.0,
+    session_lifetime=240.0,
+)
+
+
+def build_scenario(
+    name: str,
+    *,
+    seed: int = 0,
+    profile: str = "nt4",
+    max_run_seconds: float = 80_000.0,
+    fault_factor: float = 1.0,
+    config_overrides: Optional[dict] = None,
+) -> Machine:
+    """Build a ready-to-run machine for a named scenario.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SCENARIO_NAMES`.
+    seed, profile, max_run_seconds:
+        Passed through to the machine configuration.
+    fault_factor:
+        Scales every aging-fault intensity (1.0 = defaults).
+    config_overrides:
+        Extra :class:`MachineConfig` fields to replace.
+    """
+    check_choice(name, name="name", choices=SCENARIO_NAMES)
+    check_choice(profile, name="profile", choices=("nt4", "w2k"))
+    ctor = MachineConfig.nt4 if profile == "nt4" else MachineConfig.w2k
+    base = ctor(seed=seed, max_run_seconds=max_run_seconds)
+
+    workload = {
+        "stress": base.workload,
+        "webserver": _WEBSERVER_WORKLOAD,
+        "database": _DATABASE_WORKLOAD,
+        "batch": _BATCH_WORKLOAD,
+    }[name]
+    overrides = dict(config_overrides or {})
+    overrides.setdefault("workload", workload)
+    if fault_factor != 1.0:
+        overrides.setdefault("faults", base.faults.scaled(fault_factor))
+    config = replace(base, **overrides)
+    machine = Machine(config)
+
+    if name == "webserver":
+        _attach_batch(machine, period=3600.0, pages=4000, run_time=90.0)
+    elif name == "database":
+        _attach_batch(machine, period=7200.0, pages=9000, run_time=300.0)
+    elif name == "batch":
+        _attach_batch(machine, period=1200.0, pages=8000, run_time=240.0)
+    return machine
+
+
+def _attach_batch(machine: Machine, *, period: float, pages: int,
+                  run_time: float) -> BatchWorkload:
+    job = BatchWorkload(
+        machine.sim, machine.rngs, "batch.job", machine.memory,
+        period=period, pages=pages, run_time=run_time,
+        on_failure=machine.note_failure,
+    )
+    job.ensure_started()
+    return job

@@ -1,0 +1,278 @@
+"""Synthetic stress workloads.
+
+Two layers, both standard generative models for self-similar systems
+load:
+
+* :class:`OnOffSource` — a source alternating heavy-tailed (Pareto) ON
+  and OFF periods; while ON it allocates pages at a constant rate and
+  releases them after a hold time.  The superposition of many such
+  sources has long-range-dependent aggregate rate with
+  ``H = (3 - shape) / 2`` (Taqqu–Willinger–Sherman), which is what makes
+  the simulated memory counters (multi)fractal like the real ones.
+* :class:`SessionWorkload` — a Poisson session layer: worker processes
+  arrive, hold a log-normal working set for an exponential lifetime and
+  exit.  Sessions churn the allocator (feeding fragmentation) and give
+  the heap-leak fault something to leak from.
+
+Sources report every allocation/release through the
+:class:`WorkloadListener` protocol so the fault models can observe churn
+without coupling the workload to them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from ..simkernel import Process, RngRegistry, Simulator
+from .config import WorkloadConfig
+from .memory import MemoryManager
+
+
+class WorkloadListener(Protocol):
+    """Observer of allocation churn (implemented by fault models)."""
+
+    def on_allocation(self, pages: int) -> None:
+        """Called after every successful burst allocation."""
+
+    def on_release(self, pages: int) -> int:
+        """Called before a release; returns pages to *withhold* (leak)."""
+
+
+class _NullListener:
+    """Default listener: observes nothing, leaks nothing."""
+
+    def on_allocation(self, pages: int) -> None:  # noqa: D102 - protocol impl
+        return None
+
+    def on_release(self, pages: int) -> int:  # noqa: D102 - protocol impl
+        return 0
+
+
+def _pareto(rng: np.random.Generator, shape: float, mean: float) -> float:
+    """Pareto variate with the given tail index and mean.
+
+    Scale is chosen so the distribution's mean equals ``mean``
+    (requires shape > 1): ``x_m = mean * (shape - 1) / shape``.
+    """
+    xm = mean * (shape - 1.0) / shape
+    return float(xm * (1.0 + rng.pareto(shape)))
+
+
+class OnOffSource(Process):
+    """One heavy-tailed ON/OFF burst source.
+
+    While ON, allocates ``on_rate_pages`` pages per second in one-second
+    sub-bursts; each sub-burst is released after an exponential hold
+    time (minus whatever the listener decides to leak).  Allocation
+    failures are routed to ``on_failure`` — the machine uses that to
+    declare the crash.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rngs: RngRegistry,
+        name: str,
+        config: WorkloadConfig,
+        memory: MemoryManager,
+        *,
+        listener: Optional[WorkloadListener] = None,
+        on_failure: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__(sim, rngs, name)
+        self.config = config
+        self.memory = memory
+        self.listener: WorkloadListener = listener if listener is not None else _NullListener()
+        self.on_failure = on_failure
+        self._on = False
+        self._outstanding: List[int] = []
+        self.total_allocated_pages = 0
+        self.total_leaked_pages = 0
+
+    def start(self) -> None:
+        # Desynchronise sources: random initial OFF phase.
+        delay = self.rng.uniform(0.0, self.config.mean_off)
+        self.sim.schedule_in(delay, self._turn_on, label=f"{self.name}.on")
+
+    # -- ON/OFF cycle -----------------------------------------------------------
+
+    def _turn_on(self) -> None:
+        self._on = True
+        duration = _pareto(self.rng, self.config.pareto_shape, self.config.mean_on)
+        self.sim.schedule_in(duration, self._turn_off, label=f"{self.name}.off")
+        self._burst()
+
+    def _turn_off(self) -> None:
+        self._on = False
+        duration = _pareto(self.rng, self.config.pareto_shape, self.config.mean_off)
+        self.sim.schedule_in(duration, self._turn_on, label=f"{self.name}.on")
+
+    def _burst(self) -> None:
+        """Allocate one second's worth of pages, then reschedule while ON."""
+        if not self._on:
+            return
+        pages = max(1, int(self.rng.poisson(self.config.on_rate_pages)))
+        result = self.memory.allocate(pages)
+        if not result.ok:
+            if self.on_failure is not None:
+                self.on_failure(result.failure_reason or "commit")
+            return
+        self.total_allocated_pages += pages
+        self.listener.on_allocation(pages)
+        hold = self.rng.exponential(self.config.hold_time)
+        epoch = self.memory.epoch
+        self.sim.schedule_in(hold, lambda p=pages, e=epoch: self._release(p, e),
+                             label=f"{self.name}.release")
+        self.sim.schedule_in(1.0, self._burst, label=f"{self.name}.burst")
+
+    def _release(self, pages: int, epoch: int) -> None:
+        if epoch != self.memory.epoch:
+            return  # the pages vanished with a rejuvenation restart
+        leaked = self.listener.on_release(pages)
+        if leaked < 0 or leaked > pages:
+            raise SimulationError(f"listener leaked {leaked} of {pages} pages")
+        self.total_leaked_pages += leaked
+        to_free = pages - leaked
+        if to_free > 0:
+            self.memory.free(to_free)
+
+
+class BatchWorkload(Process):
+    """A periodic heavyweight batch job (log rotation, reporting, backup).
+
+    Every ``period`` seconds (with jitter) the job allocates a large
+    block, holds it for its run time and releases it — the strong
+    periodic component visible in real server counters on top of the
+    bursty request noise.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rngs: RngRegistry,
+        name: str,
+        memory: MemoryManager,
+        *,
+        period: float = 3600.0,
+        pages: int = 6000,
+        run_time: float = 120.0,
+        listener: Optional[WorkloadListener] = None,
+        on_failure: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__(sim, rngs, name)
+        if period <= 0 or pages <= 0 or run_time <= 0:
+            raise SimulationError("period, pages and run_time must be positive")
+        self.memory = memory
+        self.period = float(period)
+        self.pages = int(pages)
+        self.run_time = float(run_time)
+        self.listener: WorkloadListener = listener if listener is not None else _NullListener()
+        self.on_failure = on_failure
+        self.jobs_run = 0
+
+    def start(self) -> None:
+        delay = self.rng.uniform(0.0, self.period)
+        self.sim.schedule_in(delay, self._launch, label=f"{self.name}.launch")
+
+    def _launch(self) -> None:
+        jitter = self.rng.uniform(0.9, 1.1)
+        self.sim.schedule_in(self.period * jitter, self._launch,
+                             label=f"{self.name}.launch")
+        pages = max(1, int(self.pages * self.rng.uniform(0.8, 1.2)))
+        result = self.memory.allocate(pages)
+        if not result.ok:
+            if self.on_failure is not None:
+                self.on_failure(result.failure_reason or "commit")
+            return
+        self.jobs_run += 1
+        self.listener.on_allocation(pages)
+        epoch = self.memory.epoch
+        self.sim.schedule_in(
+            self.run_time * float(self.rng.uniform(0.8, 1.3)),
+            lambda p=pages, e=epoch: self._finish(p, e),
+            label=f"{self.name}.finish",
+        )
+
+    def _finish(self, pages: int, epoch: int) -> None:
+        if epoch != self.memory.epoch:
+            return
+        leaked = self.listener.on_release(pages)
+        if leaked < 0 or leaked > pages:
+            raise SimulationError(f"listener leaked {leaked} of {pages} pages")
+        to_free = pages - leaked
+        if to_free > 0:
+            self.memory.free(to_free)
+
+
+class SessionWorkload(Process):
+    """Poisson arrivals of worker sessions with log-normal working sets."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rngs: RngRegistry,
+        name: str,
+        config: WorkloadConfig,
+        memory: MemoryManager,
+        *,
+        listener: Optional[WorkloadListener] = None,
+        on_failure: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        super().__init__(sim, rngs, name)
+        self.config = config
+        self.memory = memory
+        self.listener: WorkloadListener = listener if listener is not None else _NullListener()
+        self.on_failure = on_failure
+        self.sessions_started = 0
+        self.sessions_finished = 0
+
+    def start(self) -> None:
+        self._schedule_next_arrival()
+
+    def _schedule_next_arrival(self) -> None:
+        gap = self.rng.exponential(1.0 / self.config.session_rate)
+        self.sim.schedule_in(gap, self._arrive, label=f"{self.name}.arrive")
+
+    def _arrive(self) -> None:
+        self._schedule_next_arrival()
+        # Log-normal working set with sigma=1 around the configured mean.
+        mu = np.log(self.config.session_pages_mean) - 0.5
+        pages = max(8, int(self.rng.lognormal(mean=mu, sigma=1.0)))
+        result = self.memory.allocate(pages)
+        if not result.ok:
+            if self.on_failure is not None:
+                self.on_failure(result.failure_reason or "commit")
+            return
+        self.sessions_started += 1
+        self.listener.on_allocation(pages)
+        lifetime = self.rng.exponential(self.config.session_lifetime)
+        epoch = self.memory.epoch
+        self.sim.schedule_in(lifetime, lambda p=pages, e=epoch: self._depart(p, e),
+                             label=f"{self.name}.depart")
+        # Sessions touch cold data mid-life, causing hard faults under
+        # pressure; schedule one mid-life touch.
+        self.sim.schedule_in(
+            lifetime * float(self.rng.uniform(0.2, 0.8)),
+            lambda p=pages, e=epoch: self._touch(p, e),
+            label=f"{self.name}.touch",
+        )
+
+    def _touch(self, pages: int, epoch: int) -> None:
+        if epoch != self.memory.epoch:
+            return
+        self.memory.touch_paged_out(int(pages * 0.25))
+
+    def _depart(self, pages: int, epoch: int) -> None:
+        if epoch != self.memory.epoch:
+            self.sessions_finished += 1
+            return  # the session's pages vanished with a restart
+        leaked = self.listener.on_release(pages)
+        if leaked < 0 or leaked > pages:
+            raise SimulationError(f"listener leaked {leaked} of {pages} pages")
+        to_free = pages - leaked
+        if to_free > 0:
+            self.memory.free(to_free)
+        self.sessions_finished += 1

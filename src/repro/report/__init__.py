@@ -1,0 +1,12 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables via :func:`render_table`, figure series via
+:func:`render_series` (a fixed-height ASCII sparkline plot good enough
+to eyeball trajectories in CI logs).
+"""
+
+from .tables import render_table, render_kv
+from .figures import render_series
+
+__all__ = ["render_table", "render_kv", "render_series"]

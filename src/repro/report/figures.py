@@ -1,0 +1,81 @@
+"""ASCII sparkline plots for figure series."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_positive_int
+from ..exceptions import ValidationError
+
+
+def render_series(
+    values,
+    *,
+    title: str | None = None,
+    width: int = 100,
+    height: int = 12,
+    markers: Sequence[tuple[float, str]] | None = None,
+    x_values=None,
+) -> str:
+    """Plot a series as an ASCII chart.
+
+    Parameters
+    ----------
+    values:
+        The series; it is resampled (by block means) to ``width``
+        columns.
+    markers:
+        Optional ``(x, label)`` pairs to flag on the x axis (e.g. crash
+        and alarm times).  ``x_values`` must then be given and be
+        monotone.
+    """
+    y = as_1d_float_array(values, name="values", min_length=2)
+    check_positive_int(width, name="width", minimum=10)
+    check_positive_int(height, name="height", minimum=3)
+
+    # Resample to `width` columns by block means.
+    edges = np.linspace(0, y.size, width + 1).astype(int)
+    cols = np.array([
+        y[edges[i]:edges[i + 1]].mean() if edges[i + 1] > edges[i] else np.nan
+        for i in range(width)
+    ])
+    valid = ~np.isnan(cols)
+    lo, hi = float(np.min(cols[valid])), float(np.max(cols[valid]))
+    if hi == lo:
+        hi = lo + 1.0
+    levels = np.clip(((cols - lo) / (hi - lo) * (height - 1)).round(), 0, height - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for col in range(width):
+        if not valid[col]:
+            continue
+        row = height - 1 - int(levels[col])
+        grid[row][col] = "*"
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(f"{hi:.4g}".rjust(12) + " +" + "-" * width + "+")
+    for row in grid:
+        out.append(" " * 12 + " |" + "".join(row) + "|")
+    out.append(f"{lo:.4g}".rjust(12) + " +" + "-" * width + "+")
+
+    if markers:
+        if x_values is None:
+            raise ValidationError("markers require x_values")
+        x = as_1d_float_array(x_values, name="x_values", min_length=2)
+        if x.size != y.size:
+            raise ValidationError("x_values must match values length")
+        marker_row = [" "] * width
+        legend = []
+        for mx, label in markers:
+            frac = (mx - x[0]) / (x[-1] - x[0]) if x[-1] > x[0] else 0.0
+            col = int(np.clip(frac * (width - 1), 0, width - 1))
+            symbol = label[0].upper() if label else "^"
+            marker_row[col] = symbol
+            legend.append(f"{symbol}={label}@{mx:.5g}")
+        out.append(" " * 12 + "  " + "".join(marker_row))
+        out.append(" " * 12 + "  " + "  ".join(legend))
+    return "\n".join(out)

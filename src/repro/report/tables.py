@@ -1,0 +1,72 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..exceptions import ValidationError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a list of rows as a boxed, column-aligned text table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  All rows must have the same arity as ``headers``.
+    """
+    if not headers:
+        raise ValidationError("headers must be non-empty")
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    header_cells = [str(h) for h in headers]
+    body = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        body.append([fmt(c) for c in row])
+
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.rjust(w) for c, w in zip(cells, widths)) + " |"
+
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append(line(header_cells))
+    out.append(sep)
+    for row in body:
+        out.append(line(row))
+    out.append(sep)
+    return "\n".join(out)
+
+
+def render_kv(pairs: Mapping[str, object], *, title: str | None = None) -> str:
+    """Render a key/value mapping as an aligned two-column block."""
+    if not pairs:
+        raise ValidationError("pairs must be non-empty")
+    width = max(len(str(k)) for k in pairs)
+    out = [title] if title else []
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        out.append(f"  {str(key).ljust(width)} : {value}")
+    return "\n".join(out)

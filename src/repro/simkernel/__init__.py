@@ -1,0 +1,27 @@
+"""Deterministic discrete-event simulation kernel.
+
+The OS memory simulator (:mod:`repro.memsim`) runs on this engine.  It is
+a classic event-list kernel:
+
+* :class:`Event` — a scheduled callback with a firing time, priority and
+  stable sequence number (ties break deterministically).
+* :class:`Simulator` — the event loop: schedule, cancel, run-until.
+* :class:`RngRegistry` — named, independently seeded random streams, so
+  adding a new stochastic component never perturbs existing streams
+  (common random numbers across experiments).
+* :class:`Process` — a convenience base class for components that
+  repeatedly reschedule themselves.
+"""
+
+from .engine import Event, EventHandle, Simulator
+from .rng import RngRegistry
+from .process import Process, PeriodicProcess
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "RngRegistry",
+    "Process",
+    "PeriodicProcess",
+]

@@ -1,0 +1,84 @@
+"""Process base classes: components that live on the event loop.
+
+A :class:`Process` owns a handle to the simulator and an RNG stream and
+reschedules itself; :class:`PeriodicProcess` is the common fixed-period
+special case (samplers, schedulers' housekeeping ticks).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_positive
+from ..exceptions import SimulationError
+from .engine import EventHandle, Simulator
+from .rng import RngRegistry
+
+
+class Process(ABC):
+    """A named simulation component with its own RNG stream.
+
+    Subclasses implement :meth:`start`, scheduling their first event(s).
+    """
+
+    def __init__(self, sim: Simulator, rngs: RngRegistry, name: str) -> None:
+        if not name:
+            raise SimulationError("process name must be non-empty")
+        self.sim = sim
+        self.name = name
+        self.rng: np.random.Generator = rngs.stream(name)
+        self._started = False
+
+    @abstractmethod
+    def start(self) -> None:
+        """Schedule this process's first event(s).  Called exactly once."""
+
+    def ensure_started(self) -> None:
+        """Idempotent wrapper used by machine assembly code."""
+        if not self._started:
+            self._started = True
+            self.start()
+
+
+class PeriodicProcess(Process):
+    """A process whose :meth:`tick` fires every ``period`` seconds.
+
+    The first tick fires at ``phase`` (default: one period in).  Stops
+    rescheduling after :meth:`stop` is called.
+    """
+
+    def __init__(
+        self, sim: Simulator, rngs: RngRegistry, name: str,
+        period: float, phase: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, rngs, name)
+        check_positive(period, name="period")
+        self.period = float(period)
+        self.phase = float(period if phase is None else phase)
+        if self.phase < 0:
+            raise SimulationError(f"phase must be non-negative, got {phase}")
+        self._stopped = False
+        self._handle: Optional[EventHandle] = None
+
+    @abstractmethod
+    def tick(self) -> None:
+        """Periodic work.  Subclasses implement this."""
+
+    def start(self) -> None:
+        self._handle = self.sim.schedule_in(self.phase, self._fire, label=self.name)
+
+    def stop(self) -> None:
+        """Stop future ticks; the currently scheduled one is cancelled."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.tick()
+        if not self._stopped:
+            self._handle = self.sim.schedule_in(self.period, self._fire, label=self.name)

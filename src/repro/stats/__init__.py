@@ -1,0 +1,56 @@
+"""Statistics toolkit supporting the aging analysis.
+
+Contents
+--------
+``regression``
+    Ordinary and weighted least squares on log-log scaling plots, with
+    standard errors — every fractal estimator funnels through
+    :func:`fit_line`.
+``trend``
+    Mann–Kendall trend test and Sen's (Theil–Sen) robust slope, the
+    machinery behind the Vaidyanathan–Trivedi baseline detector.
+``changepoint``
+    Online CUSUM and EWMA detectors and an offline single-changepoint
+    locator, used on Hölder-exponent summary series.
+``bootstrap``
+    Moving-block bootstrap confidence intervals for statistics of
+    dependent series.
+``roc``
+    Detection/false-alarm scoring across runs for detector comparison.
+"""
+
+from .regression import LineFit, fit_line, fit_line_wls
+from .trend import MannKendallResult, mann_kendall, sen_slope
+from .changepoint import (
+    CusumDetector,
+    EwmaDetector,
+    find_single_changepoint,
+)
+from .bootstrap import block_bootstrap_ci
+from .roc import DetectionOutcome, score_detections, roc_curve, auc
+from .whittle import local_whittle
+from .tails import hill_estimator, hill_plot_data, tail_quantile_ratio
+from .stationarity import kpss_test, KpssResult
+
+__all__ = [
+    "LineFit",
+    "fit_line",
+    "fit_line_wls",
+    "MannKendallResult",
+    "mann_kendall",
+    "sen_slope",
+    "CusumDetector",
+    "EwmaDetector",
+    "find_single_changepoint",
+    "block_bootstrap_ci",
+    "DetectionOutcome",
+    "score_detections",
+    "roc_curve",
+    "auc",
+    "local_whittle",
+    "hill_estimator",
+    "hill_plot_data",
+    "tail_quantile_ratio",
+    "kpss_test",
+    "KpssResult",
+]

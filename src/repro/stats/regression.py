@@ -1,0 +1,106 @@
+"""Least-squares line fitting with uncertainty.
+
+Every scaling-law estimator in :mod:`repro.fractal` reduces to fitting a
+straight line through points in a log-log plane; this module is that single
+well-tested code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_float_array
+from ..exceptions import AnalysisError, ValidationError
+
+
+@dataclass(frozen=True)
+class LineFit:
+    """Result of a straight-line fit ``y ≈ slope * x + intercept``.
+
+    Attributes
+    ----------
+    slope, intercept:
+        Fitted coefficients.
+    stderr_slope, stderr_intercept:
+        Standard errors under the usual homoskedastic Gaussian model.
+    r_squared:
+        Coefficient of determination of the fit.
+    n:
+        Number of points used.
+    """
+
+    slope: float
+    intercept: float
+    stderr_slope: float
+    stderr_intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x) -> np.ndarray:
+        """Evaluate the fitted line at ``x``."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+    def residuals(self, x, y) -> np.ndarray:
+        """Return ``y - predict(x)``."""
+        return np.asarray(y, dtype=float) - self.predict(x)
+
+
+def fit_line(x, y) -> LineFit:
+    """Ordinary least squares fit of ``y`` on ``x``.
+
+    Raises :class:`AnalysisError` when fewer than two distinct x values
+    are supplied (the slope would be undefined).
+    """
+    x = as_1d_float_array(x, name="x", min_length=2)
+    y = as_1d_float_array(y, name="y", min_length=2)
+    if x.size != y.size:
+        raise ValidationError(f"x and y must have equal length, got {x.size} != {y.size}")
+    return fit_line_wls(x, y, np.ones_like(x))
+
+
+def fit_line_wls(x, y, weights) -> LineFit:
+    """Weighted least squares fit of ``y`` on ``x``.
+
+    ``weights`` are relative precision weights (inverse variances up to a
+    common factor).  With unit weights this reduces to OLS.
+    """
+    x = as_1d_float_array(x, name="x", min_length=2)
+    y = as_1d_float_array(y, name="y", min_length=2)
+    w = as_1d_float_array(weights, name="weights", min_length=2)
+    if not (x.size == y.size == w.size):
+        raise ValidationError("x, y and weights must have equal length")
+    if np.any(w < 0):
+        raise ValidationError("weights must be non-negative")
+    if np.count_nonzero(w) < 2:
+        raise AnalysisError("need at least two points with positive weight")
+
+    sw = np.sum(w)
+    xbar = np.sum(w * x) / sw
+    ybar = np.sum(w * y) / sw
+    sxx = np.sum(w * (x - xbar) ** 2)
+    if sxx <= 0:
+        raise AnalysisError("x values are all identical; slope undefined")
+    sxy = np.sum(w * (x - xbar) * (y - ybar))
+    slope = sxy / sxx
+    intercept = ybar - slope * xbar
+
+    resid = y - (slope * x + intercept)
+    n = int(np.count_nonzero(w))
+    dof = max(n - 2, 1)
+    sigma2 = np.sum(w * resid**2) / dof
+    stderr_slope = float(np.sqrt(sigma2 / sxx))
+    stderr_intercept = float(np.sqrt(sigma2 * (1.0 / sw + xbar**2 / sxx)))
+
+    syy = np.sum(w * (y - ybar) ** 2)
+    r_squared = 1.0 if syy == 0 else float(1.0 - np.sum(w * resid**2) / syy)
+
+    return LineFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        stderr_slope=stderr_slope,
+        stderr_intercept=stderr_intercept,
+        r_squared=r_squared,
+        n=n,
+    )

@@ -1,0 +1,156 @@
+"""Detector scoring across runs: detection/false-alarm accounting and ROC.
+
+A crash-warning detector is evaluated per *run*: given the run's true
+crash time and the detector's first alarm time, the alarm is a true
+warning when it fires inside the usable warning window, premature when it
+fires before that window opens, and missed when it never fires.  This
+module turns per-run (alarm, crash) pairs into the aggregate rows the
+paper's comparison tables report, plus generic ROC machinery for
+threshold sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_nonnegative
+from ..exceptions import AnalysisError, ValidationError
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Aggregate detector performance over a set of runs.
+
+    Attributes
+    ----------
+    n_runs:
+        Number of runs scored.
+    n_detected:
+        Runs where the alarm fired in the valid warning window.
+    n_premature:
+        Runs where the first alarm fired before the window opened
+        (treated as a false alarm: the operator would have rejuvenated a
+        healthy machine).
+    n_missed:
+        Runs with no alarm before the crash.
+    lead_times:
+        Crash time minus alarm time for each *detected* run (seconds).
+    """
+
+    n_runs: int
+    n_detected: int
+    n_premature: int
+    n_missed: int
+    lead_times: Tuple[float, ...]
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of runs with a valid warning."""
+        return self.n_detected / self.n_runs if self.n_runs else 0.0
+
+    @property
+    def premature_rate(self) -> float:
+        """Fraction of runs whose first alarm was premature."""
+        return self.n_premature / self.n_runs if self.n_runs else 0.0
+
+    @property
+    def median_lead_time(self) -> float:
+        """Median lead time over detected runs (NaN when none detected)."""
+        if not self.lead_times:
+            return float("nan")
+        return float(np.median(self.lead_times))
+
+    @property
+    def mean_lead_time(self) -> float:
+        """Mean lead time over detected runs (NaN when none detected)."""
+        if not self.lead_times:
+            return float("nan")
+        return float(np.mean(self.lead_times))
+
+
+def score_detections(
+    alarm_times: Sequence[Optional[float]],
+    crash_times: Sequence[float],
+    *,
+    min_lead: float = 0.0,
+    max_lead_fraction: float = 0.9,
+) -> DetectionOutcome:
+    """Score per-run first-alarm times against true crash times.
+
+    An alarm at time ``a`` for a crash at ``c`` counts as *detected* when
+    ``min_lead <= c - a <= max_lead_fraction * c`` — i.e. it fires before
+    the crash but not in the run's infancy (an alarm in the first
+    ``(1 - max_lead_fraction)`` of the run's life predicts nothing and is
+    scored premature).  ``None`` alarms are missed.
+    """
+    crashes = as_1d_float_array(crash_times, name="crash_times", min_length=1)
+    if len(alarm_times) != crashes.size:
+        raise ValidationError(
+            f"alarm_times ({len(alarm_times)}) and crash_times ({crashes.size}) differ in length"
+        )
+    check_nonnegative(min_lead, name="min_lead")
+    if not (0.0 < max_lead_fraction <= 1.0):
+        raise ValidationError(f"max_lead_fraction must lie in (0, 1], got {max_lead_fraction}")
+
+    detected = premature = missed = 0
+    leads: List[float] = []
+    for alarm, crash in zip(alarm_times, crashes):
+        if crash <= 0:
+            raise ValidationError(f"crash times must be positive, got {crash}")
+        if alarm is None or alarm >= crash:
+            # Never fired, or fired only at/after the failure: useless.
+            missed += 1
+            continue
+        lead = crash - float(alarm)
+        if lead < min_lead:
+            # Fired too late to act on; counts as missed.
+            missed += 1
+        elif lead > max_lead_fraction * crash:
+            premature += 1
+        else:
+            detected += 1
+            leads.append(lead)
+    return DetectionOutcome(
+        n_runs=int(crashes.size),
+        n_detected=detected,
+        n_premature=premature,
+        n_missed=missed,
+        lead_times=tuple(leads),
+    )
+
+
+def roc_curve(scores_positive, scores_negative) -> Tuple[np.ndarray, np.ndarray]:
+    """ROC curve for a scalar score separating two labelled samples.
+
+    Returns ``(fpr, tpr)`` arrays swept over every distinct threshold
+    (score > threshold predicts positive), including the (0,0) and (1,1)
+    endpoints.
+    """
+    pos = as_1d_float_array(scores_positive, name="scores_positive", min_length=1)
+    neg = as_1d_float_array(scores_negative, name="scores_negative", min_length=1)
+    thresholds = np.unique(np.concatenate([pos, neg]))[::-1]
+    tpr = [0.0]
+    fpr = [0.0]
+    for th in thresholds:
+        tpr.append(float(np.mean(pos >= th)))
+        fpr.append(float(np.mean(neg >= th)))
+    tpr.append(1.0)
+    fpr.append(1.0)
+    return np.asarray(fpr), np.asarray(tpr)
+
+
+def auc(fpr, tpr) -> float:
+    """Area under an ROC curve via the trapezoid rule.
+
+    ``fpr`` must be non-decreasing (as produced by :func:`roc_curve`).
+    """
+    fpr = as_1d_float_array(fpr, name="fpr", min_length=2)
+    tpr = as_1d_float_array(tpr, name="tpr", min_length=2)
+    if fpr.size != tpr.size:
+        raise ValidationError("fpr and tpr must have equal length")
+    if np.any(np.diff(fpr) < 0):
+        raise AnalysisError("fpr must be non-decreasing")
+    return float(np.trapezoid(tpr, fpr))

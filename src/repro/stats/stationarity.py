@@ -1,0 +1,98 @@
+"""Stationarity diagnostics: the KPSS test.
+
+Kwiatkowski–Phillips–Schmidt–Shin test with the null of (level- or
+trend-) stationarity.  In this library it documents what the raw memory
+counters are (nonstationary under aging) versus what the fractal
+estimators require after preprocessing (approximate stationarity of
+increments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_1d_float_array, check_choice
+from ..exceptions import AnalysisError
+
+# Asymptotic critical values (Kwiatkowski et al. 1992, Table 1).
+_CRITICAL = {
+    "level": {0.10: 0.347, 0.05: 0.463, 0.025: 0.574, 0.01: 0.739},
+    "trend": {0.10: 0.119, 0.05: 0.146, 0.025: 0.176, 0.01: 0.216},
+}
+
+
+@dataclass(frozen=True)
+class KpssResult:
+    """KPSS outcome.
+
+    Attributes
+    ----------
+    statistic:
+        The KPSS eta statistic.
+    critical_values:
+        Asymptotic critical values keyed by significance level.
+    rejected_at_5pct:
+        True when stationarity is rejected at the 5% level.
+    regression:
+        ``"level"`` or ``"trend"`` null.
+    lags:
+        Bandwidth used for the long-run variance.
+    """
+
+    statistic: float
+    critical_values: dict
+    rejected_at_5pct: bool
+    regression: str
+    lags: int
+
+
+def kpss_test(values, *, regression: str = "level",
+              lags: int | None = None) -> KpssResult:
+    """KPSS test for (level or trend) stationarity.
+
+    Parameters
+    ----------
+    values:
+        The series under test.
+    regression:
+        ``"level"`` (null: stationary around a constant) or ``"trend"``
+        (null: stationary around a linear trend).
+    lags:
+        Newey–West bandwidth; default is the standard
+        ``floor(12 * (n/100)^0.25)``.
+    """
+    x = as_1d_float_array(values, name="values", min_length=32)
+    check_choice(regression, name="regression", choices=("level", "trend"))
+    n = x.size
+    if lags is None:
+        lags = int(np.floor(12.0 * (n / 100.0) ** 0.25))
+    if lags < 0 or lags >= n:
+        raise AnalysisError(f"lags must lie in [0, {n - 1}], got {lags}")
+
+    if regression == "level":
+        resid = x - np.mean(x)
+    else:
+        t = np.arange(n, dtype=float)
+        coeffs = np.polyfit(t, x, deg=1)
+        resid = x - np.polyval(coeffs, t)
+
+    partial = np.cumsum(resid)
+    # Newey-West long-run variance with Bartlett weights.
+    s2 = float(np.sum(resid**2)) / n
+    for lag in range(1, lags + 1):
+        weight = 1.0 - lag / (lags + 1.0)
+        s2 += 2.0 * weight * float(np.sum(resid[lag:] * resid[:-lag])) / n
+    if s2 <= 0:
+        raise AnalysisError("non-positive long-run variance (degenerate series)")
+
+    eta = float(np.sum(partial**2)) / (n**2 * s2)
+    crit = _CRITICAL[regression]
+    return KpssResult(
+        statistic=eta,
+        critical_values=dict(crit),
+        rejected_at_5pct=eta > crit[0.05],
+        regression=regression,
+        lags=lags,
+    )

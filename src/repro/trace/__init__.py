@@ -1,0 +1,52 @@
+"""Trace toolkit: time-series container, I/O, and preprocessing.
+
+This subpackage is the common currency of the library: the memory
+simulator produces :class:`TimeSeries` objects, the fractal estimators and
+aging detectors consume them.
+
+Public API
+----------
+:class:`TimeSeries`
+    Immutable, uniformly-sampled (or timestamped) scalar series.
+:class:`TraceBundle`
+    A named collection of aligned series (one per performance counter).
+:func:`read_csv` / :func:`write_csv`
+    Round-trip a bundle through a plain CSV file.
+Preprocessing helpers
+    :func:`detrend`, :func:`difference`, :func:`standardize`,
+    :func:`resample_uniform`, :func:`fill_gaps`, :func:`segment`,
+    :func:`sliding_windows`.
+"""
+
+from .series import TimeSeries, TraceBundle
+from .io import read_csv, write_csv
+from .perfmon import read_perfmon_csv, normalize_counter_name
+from .align import align_series, correlation_matrix, lagged_correlation
+from .preprocess import (
+    detrend,
+    difference,
+    standardize,
+    resample_uniform,
+    fill_gaps,
+    segment,
+    sliding_windows,
+)
+
+__all__ = [
+    "TimeSeries",
+    "TraceBundle",
+    "read_csv",
+    "write_csv",
+    "read_perfmon_csv",
+    "normalize_counter_name",
+    "align_series",
+    "correlation_matrix",
+    "lagged_correlation",
+    "detrend",
+    "difference",
+    "standardize",
+    "resample_uniform",
+    "fill_gaps",
+    "segment",
+    "sliding_windows",
+]

@@ -1,0 +1,115 @@
+"""Multi-series alignment and cross-counter statistics.
+
+The aging analysis monitors several counters of the same run; these
+helpers put them on a common footing:
+
+* :func:`align_series` — inner-join several series onto their common
+  uniform grid (intersection of time spans, shared dt), interpolating
+  each.
+* :func:`correlation_matrix` — Pearson correlations of aligned counters
+  (on increments by default, since the levels share the aging trend and
+  would all correlate trivially).
+* :func:`lagged_correlation` — cross-correlation of two counters over a
+  window of lags, used to ask "which counter moves first?".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import check_positive, check_positive_int
+from ..exceptions import AnalysisError, ValidationError
+from .preprocess import fill_gaps, resample_uniform
+from .series import TimeSeries
+
+
+def align_series(
+    series: Sequence[TimeSeries],
+    *,
+    dt: float | None = None,
+) -> List[TimeSeries]:
+    """Inner-join several series onto a shared uniform grid.
+
+    Each series is gap-filled and linearly interpolated onto the grid
+    covering the *intersection* of their time spans with step ``dt``
+    (default: the coarsest of the series' median sampling intervals).
+    """
+    if len(series) < 2:
+        raise ValidationError("need at least 2 series to align")
+    clean = [fill_gaps(ts) if ts.has_gaps else ts for ts in series]
+    start = max(ts.times[0] for ts in clean)
+    stop = min(ts.times[-1] for ts in clean)
+    if stop <= start:
+        raise AnalysisError("series time spans do not overlap")
+    if dt is None:
+        dt = max(ts.dt for ts in clean)
+    check_positive(dt, name="dt")
+
+    n = int(np.floor((stop - start) / dt)) + 1
+    if n < 8:
+        raise AnalysisError("overlap too short after alignment")
+    grid = start + dt * np.arange(n)
+    out = []
+    for ts in clean:
+        values = np.interp(grid, ts.times, ts.values)
+        out.append(TimeSeries(times=grid, values=values,
+                              name=ts.name, units=ts.units))
+    return out
+
+
+def correlation_matrix(
+    series: Sequence[TimeSeries],
+    *,
+    on_increments: bool = True,
+) -> Tuple[List[str], np.ndarray]:
+    """Pearson correlation matrix of aligned counters.
+
+    Returns ``(names, matrix)``.  By default correlations are computed
+    on first differences — the levels of co-aging counters correlate
+    near ±1 trivially through the shared trend.
+    """
+    aligned = align_series(series)
+    names = [ts.name for ts in aligned]
+    data = np.vstack([ts.values for ts in aligned])
+    if on_increments:
+        data = np.diff(data, axis=1)
+    stds = data.std(axis=1)
+    if np.any(stds == 0):
+        flat = [names[i] for i in np.flatnonzero(stds == 0)]
+        raise AnalysisError(f"constant series after differencing: {flat}")
+    return names, np.corrcoef(data)
+
+
+def lagged_correlation(
+    a: TimeSeries,
+    b: TimeSeries,
+    *,
+    max_lag: int = 60,
+    on_increments: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cross-correlation of two counters over lags ``-max_lag..max_lag``.
+
+    Positive lag means ``a`` leads ``b`` (a's past correlates with b's
+    present).  Returns ``(lags, correlations)``.
+    """
+    check_positive_int(max_lag, name="max_lag")
+    aligned = align_series([a, b])
+    xa, xb = aligned[0].values, aligned[1].values
+    if on_increments:
+        xa, xb = np.diff(xa), np.diff(xb)
+    n = xa.size
+    if n <= 2 * max_lag + 8:
+        raise AnalysisError("overlap too short for the requested max_lag")
+    xa = (xa - xa.mean()) / (xa.std() or 1.0)
+    xb = (xb - xb.mean()) / (xb.std() or 1.0)
+
+    lags = np.arange(-max_lag, max_lag + 1)
+    corr = np.empty(lags.size)
+    for i, lag in enumerate(lags):
+        if lag >= 0:
+            corr[i] = float(np.mean(xa[: n - lag] * xb[lag:]))
+        else:
+            corr[i] = float(np.mean(xa[-lag:] * xb[: n + lag]))
+    return lags, corr

@@ -1,0 +1,130 @@
+"""CSV round-trip for trace bundles.
+
+The on-disk format mirrors what real performance-counter collectors (e.g.
+perfmon CSV relogs) produce: a header row naming the time column and each
+counter, one row per sample time, empty cells for missed samples.  Run
+metadata is stored in ``#``-prefixed comment lines before the header:
+
+.. code-block:: text
+
+    # crash_time=86100.0
+    # os_profile=nt4
+    time,AvailableBytes,PagesPerSec
+    0.0,512034816,12.0
+    1.0,511942656,
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import TraceError
+from .series import TimeSeries, TraceBundle
+
+_METADATA_PREFIX = "# "
+
+
+def write_csv(bundle: TraceBundle, path: str | os.PathLike) -> None:
+    """Write a bundle to ``path``.
+
+    Series are aligned on the union of their time grids; cells without a
+    sample (or with a NaN gap) are written empty.
+    """
+    if len(bundle) == 0:
+        raise TraceError("cannot write an empty bundle")
+    names = bundle.names
+    grid = np.unique(np.concatenate([bundle[name].times for name in names]))
+    columns: Dict[str, np.ndarray] = {}
+    for name in names:
+        ts = bundle[name]
+        col = np.full(grid.size, np.nan)
+        idx = np.searchsorted(grid, ts.times)
+        col[idx] = ts.values
+        columns[name] = col
+
+    with open(path, "w", newline="") as handle:
+        for key in sorted(bundle.metadata):
+            handle.write(f"{_METADATA_PREFIX}{key}={bundle.metadata[key]}\n")
+        writer = csv.writer(handle)
+        writer.writerow(["time", *names])
+        for i, t in enumerate(grid):
+            row = [f"{t:.10g}"]
+            for name in names:
+                v = columns[name][i]
+                row.append("" if np.isnan(v) else f"{v:.10g}")
+            writer.writerow(row)
+
+
+def read_csv(path: str | os.PathLike) -> TraceBundle:
+    """Read a bundle previously written by :func:`write_csv`.
+
+    Missing cells become gaps only where the counter was sampled at other
+    times; rows where a counter was never sampled are dropped from that
+    counter's series.
+    """
+    metadata: Dict[str, float | str] = {}
+    header_line = None
+    data_lines = []
+    with open(path, "r", newline="") as handle:
+        for line in handle:
+            if line.startswith("#"):
+                stripped = line.lstrip("# ").rstrip("\n")
+                if "=" not in stripped:
+                    raise TraceError(f"malformed metadata line: {line!r}")
+                key, _, raw = stripped.partition("=")
+                metadata[key.strip()] = _parse_metadata_value(raw.strip())
+            elif header_line is None:
+                header_line = line
+            else:
+                data_lines.append(line)
+    if header_line is None:
+        raise TraceError(f"{path} contains no header row")
+
+    reader = csv.reader(_io.StringIO(header_line + "".join(data_lines)))
+    header = next(reader)
+    if not header or header[0] != "time":
+        raise TraceError(f"first column must be 'time', got {header[:1]!r}")
+    names = header[1:]
+    if not names:
+        raise TraceError("no counter columns in file")
+
+    times = []
+    cells: list[list[str]] = []
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(header):
+            raise TraceError(f"row has {len(row)} cells, expected {len(header)}: {row!r}")
+        times.append(float(row[0]))
+        cells.append(row[1:])
+
+    grid = np.asarray(times, dtype=float)
+    bundle = TraceBundle(metadata=metadata)
+    for j, name in enumerate(names):
+        raw = [r[j] for r in cells]
+        present = np.array([cell != "" for cell in raw])
+        if not present.any():
+            continue
+        # Keep the span where the counter was actually collected; interior
+        # missing cells become NaN gaps.
+        first, last = np.flatnonzero(present)[[0, -1]]
+        vals = np.array(
+            [float(c) if c != "" else np.nan for c in raw[first:last + 1]], dtype=float
+        )
+        bundle.add(TimeSeries(times=grid[first:last + 1], values=vals, name=name))
+    if len(bundle) == 0:
+        raise TraceError(f"{path} contains no data rows")
+    return bundle
+
+
+def _parse_metadata_value(raw: str) -> float | str:
+    """Metadata values are floats when they parse as floats, else strings."""
+    try:
+        return float(raw)
+    except ValueError:
+        return raw

@@ -1,0 +1,232 @@
+"""Time-series containers used throughout the library.
+
+:class:`TimeSeries` is a small immutable value object pairing sample times
+with values.  It deliberately does *not* try to be pandas: the fractal
+estimators need plain contiguous float arrays, and the simulator needs a
+cheap append-free construction path, so a thin wrapper over two numpy
+arrays is the right altitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import as_1d_float_array_allow_nan, check_positive
+from ..exceptions import TraceError, ValidationError
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A scalar time series: sample times (seconds) and values.
+
+    Parameters
+    ----------
+    times:
+        Strictly increasing sample times, in seconds.
+    values:
+        Sample values; ``NaN`` marks a gap (a missed sample).
+    name:
+        Counter name, e.g. ``"AvailableBytes"``.
+    units:
+        Human-readable unit label, e.g. ``"bytes"``.
+
+    The container is frozen; all transformations return new instances.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    name: str = "series"
+    units: str = ""
+
+    def __post_init__(self) -> None:
+        times = as_1d_float_array_allow_nan(self.times, name="times", min_length=0)
+        values = as_1d_float_array_allow_nan(self.values, name="values", min_length=0)
+        if np.any(np.isnan(times)):
+            raise ValidationError("times may not contain NaN")
+        if times.size != values.size:
+            raise ValidationError(
+                f"times and values must have equal length, got {times.size} != {values.size}"
+            )
+        if times.size >= 2 and np.any(np.diff(times) <= 0):
+            raise ValidationError("times must be strictly increasing")
+        times.flags.writeable = False
+        values.flags.writeable = False
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[float],
+        *,
+        dt: float = 1.0,
+        t0: float = 0.0,
+        name: str = "series",
+        units: str = "",
+    ) -> "TimeSeries":
+        """Build a uniformly sampled series from values alone."""
+        check_positive(dt, name="dt")
+        values = np.asarray(values, dtype=float)
+        times = t0 + dt * np.arange(values.size)
+        return cls(times=times, values=values, name=name, units=units)
+
+    # -- basic properties ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time between the first and last samples."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def dt(self) -> float:
+        """Median sampling interval (robust to occasional jitter)."""
+        if len(self) < 2:
+            raise TraceError("dt is undefined for a series with fewer than 2 samples")
+        return float(np.median(np.diff(self.times)))
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when every sampling interval matches the median within 1e-9."""
+        if len(self) < 3:
+            return True
+        diffs = np.diff(self.times)
+        return bool(np.all(np.abs(diffs - np.median(diffs)) < 1e-9 * max(1.0, abs(np.median(diffs)))))
+
+    @property
+    def has_gaps(self) -> bool:
+        """True when any value is NaN."""
+        return bool(np.any(np.isnan(self.values)))
+
+    # -- transformations ----------------------------------------------------
+
+    def with_values(self, values: Sequence[float], *, name: str | None = None,
+                    units: str | None = None) -> "TimeSeries":
+        """Return a copy with new values on the same time grid."""
+        return TimeSeries(
+            times=self.times.copy(),
+            values=np.asarray(values, dtype=float),
+            name=self.name if name is None else name,
+            units=self.units if units is None else units,
+        )
+
+    def slice_time(self, start: float, stop: float) -> "TimeSeries":
+        """Return the sub-series with ``start <= t < stop``."""
+        if stop <= start:
+            raise ValidationError(f"stop ({stop}) must exceed start ({start})")
+        mask = (self.times >= start) & (self.times < stop)
+        return TimeSeries(
+            times=self.times[mask], values=self.values[mask],
+            name=self.name, units=self.units,
+        )
+
+    def head(self, n: int) -> "TimeSeries":
+        """Return the first ``n`` samples (``n >= 0``)."""
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        return TimeSeries(times=self.times[:n], values=self.values[:n],
+                          name=self.name, units=self.units)
+
+    def tail(self, n: int) -> "TimeSeries":
+        """Return the last ``n`` samples (``n >= 0``; 0 gives an empty series)."""
+        if n < 0:
+            raise ValidationError(f"n must be non-negative, got {n}")
+        start = max(len(self) - n, 0)
+        return TimeSeries(times=self.times[start:], values=self.values[start:],
+                          name=self.name, units=self.units)
+
+    def dropna(self) -> "TimeSeries":
+        """Return the series with gap (NaN) samples removed."""
+        mask = ~np.isnan(self.values)
+        return TimeSeries(times=self.times[mask], values=self.values[mask],
+                          name=self.name, units=self.units)
+
+    def map(self, func: Callable[[np.ndarray], np.ndarray], *, name: str | None = None) -> "TimeSeries":
+        """Apply an elementwise function to the values."""
+        out = np.asarray(func(self.values.copy()), dtype=float)
+        if out.shape != self.values.shape:
+            raise ValidationError("map function must preserve the shape of values")
+        return self.with_values(out, name=name)
+
+    # -- summary ------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Simple summary statistics, ignoring gaps."""
+        clean = self.values[~np.isnan(self.values)]
+        if clean.size == 0:
+            raise TraceError(f"series {self.name!r} has no non-gap samples")
+        return {
+            "n": float(len(self)),
+            "n_gaps": float(np.sum(np.isnan(self.values))),
+            "mean": float(np.mean(clean)),
+            "std": float(np.std(clean)),
+            "min": float(np.min(clean)),
+            "max": float(np.max(clean)),
+            "first": float(clean[0]),
+            "last": float(clean[-1]),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f"[{self.times[0]:g}, {self.times[-1]:g}]s" if len(self) else "[]"
+        return f"TimeSeries({self.name!r}, n={len(self)}, t={span})"
+
+
+@dataclass
+class TraceBundle:
+    """A set of performance-counter series collected from one run.
+
+    All series share a machine/run identity but need not share a time grid
+    (real collectors drop samples).  Metadata records run-level facts such
+    as the crash time.
+    """
+
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+    metadata: Dict[str, float | str] = field(default_factory=dict)
+
+    def add(self, ts: TimeSeries) -> None:
+        """Insert a series, keyed by its name.  Duplicate names are an error."""
+        if ts.name in self.series:
+            raise TraceError(f"bundle already contains a series named {ts.name!r}")
+        self.series[ts.name] = ts
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise TraceError(
+                f"no series named {name!r}; available: {sorted(self.series)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    def __iter__(self) -> Iterator[TimeSeries]:
+        return iter(self.series.values())
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    @property
+    def names(self) -> list[str]:
+        """Counter names present in the bundle, in insertion order."""
+        return list(self.series)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, TimeSeries],
+                     metadata: Mapping[str, float | str] | None = None) -> "TraceBundle":
+        """Build a bundle from a name -> series mapping."""
+        bundle = cls(metadata=dict(metadata or {}))
+        for name, ts in mapping.items():
+            if ts.name != name:
+                ts = TimeSeries(times=ts.times, values=ts.values, name=name, units=ts.units)
+            bundle.add(ts)
+        return bundle

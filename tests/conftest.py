@@ -1,0 +1,53 @@
+"""Shared fixtures.
+
+Simulation runs are expensive (seconds each), so crash runs are
+session-scoped and shared by every test that needs realistic traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memsim import Machine, MachineConfig
+
+
+@pytest.fixture(scope="session")
+def nt4_run():
+    """One complete NT4-profile stress-to-crash run (session cached)."""
+    result = Machine(MachineConfig.nt4(seed=101, max_run_seconds=120_000)).run()
+    assert result.crashed, "fixture run must crash"
+    return result
+
+
+@pytest.fixture(scope="session")
+def w2k_run():
+    """One complete W2K-profile stress-to-crash run (session cached)."""
+    result = Machine(MachineConfig.w2k(seed=202, max_run_seconds=160_000)).run()
+    assert result.crashed, "fixture run must crash"
+    return result
+
+
+@pytest.fixture(scope="session")
+def healthy_run():
+    """A short run with aging faults disabled (never crashes)."""
+    from repro.memsim.config import FaultConfig
+
+    config = MachineConfig.nt4(
+        seed=303,
+        max_run_seconds=6_000,
+        faults=FaultConfig(
+            heap_leak_fraction=0.0,
+            pool_leak_rate=0.0,
+            fragmentation_rate=0.0,
+        ),
+    )
+    result = Machine(config).run()
+    assert not result.crashed, "healthy fixture must survive"
+    return result
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

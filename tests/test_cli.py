@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.memsim import Machine, MachineConfig
+from repro.trace import write_csv
+
+
+@pytest.fixture(scope="module")
+def short_trace(tmp_path_factory):
+    """A quick crash-run trace archived to CSV."""
+    path = tmp_path_factory.mktemp("cli") / "run.csv"
+    result = Machine(MachineConfig.nt4(seed=11, max_run_seconds=40_000)).run()
+    write_csv(result.bundle, path)
+    return path, result
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--profile", "w2k", "--seed", "3", "--out", "x.csv"])
+        assert args.profile == "w2k"
+        assert args.seed == 3
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(
+            ["analyze", "trace.csv", "--scheme", "ewma"])
+        assert args.trace == "trace.csv"
+        assert args.scheme == "ewma"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_simulate_writes_csv(self, tmp_path):
+        out = tmp_path / "sim.csv"
+        code = main(["simulate", "--seed", "2", "--max-seconds", "3000",
+                     "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        text = out.read_text()
+        assert "AvailableBytes" in text
+
+    def test_simulate_fault_factor(self, tmp_path):
+        out = tmp_path / "sim.csv"
+        code = main(["simulate", "--seed", "2", "--max-seconds", "2000",
+                     "--fault-factor", "2.0", "--out", str(out)])
+        assert code == 0
+
+    def test_analyze_reports_lead(self, short_trace, capsys):
+        path, result = short_trace
+        code = main(["analyze", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WARNING at" in out
+        assert "lead time" in out
+
+    def test_analyze_unknown_counter(self, short_trace, capsys):
+        path, __ = short_trace
+        code = main(["analyze", str(path), "--counter", "Bogus"])
+        assert code == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_analyze_variance_indicator(self, short_trace, capsys):
+        path, __ = short_trace
+        code = main(["analyze", str(path), "--indicator", "variance"])
+        assert code == 0
+        assert "variance" in capsys.readouterr().out
+
+    def test_validate_passes(self, capsys):
+        code = main(["validate"])
+        assert code == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_campaign_runs_and_persists(self, tmp_path, capsys):
+        out = tmp_path / "campaign.json"
+        code = main(["campaign", "--runs", "1", "--max-seconds", "40000",
+                     "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "Campaign results" in text
+        assert out.exists()
+
+    def test_campaign_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.scenario == "stress"
+        assert args.runs == 3

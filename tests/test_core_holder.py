@@ -1,0 +1,139 @@
+"""Tests for local Hölder exponent estimation (the paper core)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError, ValidationError
+from repro.core.holder import (
+    HolderTrajectory,
+    holder_trajectory,
+    local_holder,
+    oscillation_holder,
+    wavelet_holder,
+    _rolling_max,
+    _rolling_min,
+)
+from repro.generators import fbm, weierstrass
+from repro.trace import TimeSeries
+
+
+class TestRollingExtrema:
+    def test_max_matches_bruteforce(self, rng):
+        x = rng.standard_normal(200)
+        for half in (1, 3, 7, 10):
+            fast = _rolling_max(x, half)
+            slow = np.array([
+                x[max(0, i - half): i + half + 1].max() for i in range(x.size)
+            ])
+            np.testing.assert_allclose(fast, slow)
+
+    def test_min_matches_bruteforce(self, rng):
+        x = rng.standard_normal(200)
+        for half in (1, 5, 12):
+            fast = _rolling_min(x, half)
+            slow = np.array([
+                x[max(0, i - half): i + half + 1].min() for i in range(x.size)
+            ])
+            np.testing.assert_allclose(fast, slow)
+
+    def test_zero_window_identity(self, rng):
+        x = rng.standard_normal(50)
+        np.testing.assert_array_equal(_rolling_max(x, 0), x)
+
+
+class TestWaveletHolder:
+    @pytest.mark.parametrize("h_true", [0.3, 0.5, 0.7])
+    def test_weierstrass_uniform_h(self, h_true):
+        w = weierstrass(2**13, h_true)
+        h = wavelet_holder(w)
+        assert np.mean(h) == pytest.approx(h_true, abs=0.08)
+
+    @pytest.mark.parametrize("hurst", [0.3, 0.6, 0.8])
+    def test_fbm_h_equals_hurst(self, hurst):
+        x = fbm(2**14, hurst, rng=np.random.default_rng(int(hurst * 10)))
+        h = wavelet_holder(x)
+        assert np.median(h) == pytest.approx(hurst, abs=0.1)
+
+    def test_rough_vs_smooth_ordering(self):
+        rough = weierstrass(2**12, 0.25)
+        smooth = weierstrass(2**12, 0.75)
+        assert np.mean(wavelet_holder(rough)) < np.mean(wavelet_holder(smooth)) - 0.3
+
+    def test_output_length(self, rng):
+        x = rng.standard_normal(1000)
+        assert wavelet_holder(x).size == 1000
+
+    def test_cone_supremum_reduces_noise(self):
+        x = fbm(2**13, 0.5, rng=np.random.default_rng(5))
+        h_cone = wavelet_holder(x, cone_supremum=True)
+        h_raw = wavelet_holder(x, cone_supremum=False)
+        assert np.std(h_cone) < np.std(h_raw)
+
+    def test_scale_band_validation(self, rng):
+        x = rng.standard_normal(256)
+        with pytest.raises(ValidationError):
+            wavelet_holder(x, min_scale=16.0, max_scale=8.0)
+        with pytest.raises(ValidationError):
+            wavelet_holder(x, max_scale=200.0)
+
+    def test_local_singularity_detected(self):
+        # A smooth signal with one jump: h should dip near the jump.
+        n = 2048
+        t = np.linspace(0, 1, n)
+        x = np.sin(2 * np.pi * t * 3)
+        x[n // 2:] += 2.0  # jump singularity (h = 0)
+        h = wavelet_holder(x, min_scale=2, max_scale=16)
+        centre = h[n // 2 - 10: n // 2 + 10].min()
+        away = np.median(h[: n // 4])
+        assert centre < away - 0.3
+
+
+class TestOscillationHolder:
+    def test_orders_correctly(self):
+        rough = weierstrass(2**12, 0.3)
+        smooth = weierstrass(2**12, 0.7)
+        assert np.mean(oscillation_holder(rough)) < np.mean(oscillation_holder(smooth)) - 0.15
+
+    def test_radii_validation(self, rng):
+        x = rng.standard_normal(512)
+        with pytest.raises(ValidationError):
+            oscillation_holder(x, radii=(4, 2, 8))
+        with pytest.raises(ValidationError):
+            oscillation_holder(x, radii=(1, 2))
+        with pytest.raises(ValidationError):
+            oscillation_holder(x, radii=(8, 16, 300))
+
+
+class TestDispatch:
+    def test_methods(self, rng):
+        x = fbm(2**12, 0.5, rng=rng)
+        assert local_holder(x, method="wavelet").size == x.size
+        assert local_holder(x, method="oscillation").size == x.size
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValidationError):
+            local_holder(rng.standard_normal(256), method="psychic")
+
+
+class TestHolderTrajectory:
+    def test_from_series(self):
+        ts = TimeSeries.from_values(
+            fbm(2**12, 0.6, rng=np.random.default_rng(1)), dt=2.0, name="counter")
+        traj = holder_trajectory(ts)
+        assert isinstance(traj, HolderTrajectory)
+        assert len(traj) == len(ts)
+        assert traj.source_name == "counter"
+        np.testing.assert_array_equal(traj.times, ts.times)
+
+    def test_as_series_naming(self):
+        ts = TimeSeries.from_values(
+            fbm(2**10, 0.6, rng=np.random.default_rng(2)), name="AvailableBytes")
+        out = holder_trajectory(ts, max_scale=16.0).as_series()
+        assert out.name == "AvailableBytes.holder"
+
+    def test_gaps_rejected(self):
+        values = fbm(2**10, 0.5, rng=np.random.default_rng(3))
+        values[5] = np.nan
+        ts = TimeSeries.from_values(values)
+        with pytest.raises(AnalysisError, match="gaps"):
+            holder_trajectory(ts, max_scale=16.0)

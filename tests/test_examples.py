@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are the library's advertised entry points; they are
+imported as modules and driven with reduced workloads so the suite stays
+fast.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert {"quickstart", "stress_to_crash", "multifractal_toolkit_tour",
+                "rejuvenation_policy", "webserver_aging"} <= names
+
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "crash time" in out
+        assert "warning time" in out
+
+    def test_multifractal_toolkit_tour(self, capsys):
+        module = load_example("multifractal_toolkit_tour")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Hurst estimators" in out
+        assert "Binomial cascade" in out
+
+    def test_rejuvenation_policy(self, capsys):
+        module = load_example("rejuvenation_policy")
+        module.main(n_hosts=1)
+        out = capsys.readouterr().out
+        assert "Policy comparison" in out
+        assert "predictive" in out
+
+    def test_stress_to_crash(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        module = load_example("stress_to_crash")
+        module.main(n_runs=1)
+        out = capsys.readouterr().out
+        assert "warnings vs crashes" in out
+        assert (tmp_path / "traces").exists()
+        assert list((tmp_path / "traces").glob("*.csv"))
+
+    @pytest.mark.slow
+    def test_webserver_aging(self, capsys):
+        module = load_example("webserver_aging")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Offline analysis per counter" in out

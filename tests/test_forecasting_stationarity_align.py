@@ -1,0 +1,189 @@
+"""Tests for remaining-life forecasting, KPSS, and counter alignment."""
+
+import numpy as np
+import pytest
+
+from repro.core import analyze_counter, fit_life_model, predict_remaining_life
+from repro.core.forecasting import LifeModel, _pava_nonincreasing
+from repro.exceptions import AnalysisError, ValidationError
+from repro.stats import kpss_test
+from repro.trace import (
+    TimeSeries,
+    align_series,
+    correlation_matrix,
+    lagged_correlation,
+)
+
+
+class TestPava:
+    def test_already_monotone_unchanged(self):
+        y = np.array([5.0, 4.0, 3.0, 1.0])
+        np.testing.assert_allclose(_pava_nonincreasing(y), y)
+
+    def test_violations_pooled(self):
+        y = np.array([1.0, 3.0, 2.0])
+        out = _pava_nonincreasing(y)
+        assert np.all(np.diff(out) <= 1e-12)
+        # Pooling preserves the overall mean.
+        assert np.mean(out) == pytest.approx(np.mean(y))
+
+    def test_result_nonincreasing_random(self, rng):
+        y = rng.standard_normal(50)
+        out = _pava_nonincreasing(y)
+        assert np.all(np.diff(out) <= 1e-12)
+
+
+class TestLifeModel:
+    def test_predict_fraction_interpolates(self):
+        model = LifeModel(
+            z_grid=np.array([0.0, 5.0, 10.0]),
+            remaining_fraction=np.array([0.9, 0.5, 0.1]),
+            n_training_pairs=100,
+        )
+        assert model.predict_fraction(2.5) == pytest.approx(0.7)
+        assert model.predict_fraction(20.0) == pytest.approx(0.1)  # clipped
+
+    def test_remaining_seconds_formula(self):
+        model = LifeModel(
+            z_grid=np.array([0.0, 10.0]),
+            remaining_fraction=np.array([0.5, 0.5]),
+            n_training_pairs=10,
+        )
+        # f = 0.5 -> remaining = elapsed.
+        assert model.predict_remaining_seconds(1.0, 1000.0) == pytest.approx(1000.0)
+
+    def test_elapsed_must_be_positive(self):
+        model = LifeModel(np.array([0.0, 1.0]), np.array([0.5, 0.4]), 10)
+        with pytest.raises(ValidationError):
+            model.predict_remaining_seconds(1.0, 0.0)
+
+
+class TestLifeModelOnFleet:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        from repro.memsim import Machine, MachineConfig
+
+        return [Machine(MachineConfig.nt4(seed=s, max_run_seconds=40_000)).run()
+                for s in (1, 2, 3, 4, 5)]
+
+    def test_midlife_predictions_order_of_magnitude(self, fleet):
+        training = [
+            (analyze_counter(r.bundle["AvailableBytes"]).indicator, r.crash_time)
+            for r in fleet[:4]
+        ]
+        model = fit_life_model(training)
+        held_out = fleet[4]
+        log_ratios = []
+        for frac in (0.6, 0.75, 0.85):
+            trunc = held_out.bundle["AvailableBytes"].slice_time(
+                0, frac * held_out.crash_time)
+            indicator = analyze_counter(trunc).indicator
+            predicted = predict_remaining_life(model, indicator)
+            actual = held_out.crash_time - trunc.times[-1]
+            log_ratios.append(abs(np.log(predicted / actual)))
+        assert np.median(log_ratios) < np.log(4.0), \
+            "mid-life predictions must be order-of-magnitude correct"
+
+    def test_model_curve_monotone(self, fleet):
+        training = [
+            (analyze_counter(r.bundle["AvailableBytes"]).indicator, r.crash_time)
+            for r in fleet[:3]
+        ]
+        model = fit_life_model(training)
+        assert np.all(np.diff(model.remaining_fraction) <= 1e-12)
+        assert np.all(np.diff(model.z_grid) > 0)
+        assert model.n_training_pairs > 100
+
+    def test_too_few_training_runs(self, fleet):
+        indicator = analyze_counter(fleet[0].bundle["AvailableBytes"]).indicator
+        with pytest.raises(ValidationError):
+            fit_life_model([(indicator, fleet[0].crash_time)])
+
+    def test_invalid_crash_time(self, fleet):
+        indicator = analyze_counter(fleet[0].bundle["AvailableBytes"]).indicator
+        with pytest.raises(ValidationError):
+            fit_life_model([(indicator, None), (indicator, 100.0)])
+
+
+class TestKpss:
+    def test_white_noise_stationary(self, rng):
+        res = kpss_test(rng.standard_normal(1000))
+        assert not res.rejected_at_5pct
+        assert res.statistic < res.critical_values[0.05]
+
+    def test_random_walk_rejected(self, rng):
+        res = kpss_test(np.cumsum(rng.standard_normal(1000)))
+        assert res.rejected_at_5pct
+
+    def test_trend_null_absorbs_linear_trend(self, rng):
+        x = 0.05 * np.arange(1000.0) + rng.standard_normal(1000)
+        assert kpss_test(x, regression="level").rejected_at_5pct
+        assert not kpss_test(x, regression="trend").rejected_at_5pct
+
+    def test_default_bandwidth(self, rng):
+        res = kpss_test(rng.standard_normal(400))
+        assert res.lags == int(np.floor(12 * (400 / 100) ** 0.25))
+
+    def test_invalid_regression(self, rng):
+        with pytest.raises(ValidationError):
+            kpss_test(rng.standard_normal(100), regression="quadratic")
+
+    def test_aging_counter_nonstationary(self, nt4_run):
+        avail = nt4_run.bundle["AvailableBytes"].dropna()
+        res = kpss_test(avail.values[::4])
+        assert res.rejected_at_5pct
+
+
+class TestAlignment:
+    def test_inner_join_spans(self, rng):
+        a = TimeSeries.from_values(rng.standard_normal(100), dt=1.0, name="a")
+        b = TimeSeries(times=np.arange(10.0, 90.0, 2.0),
+                       values=rng.standard_normal(40), name="b")
+        aligned = align_series([a, b])
+        assert aligned[0].times[0] >= 10.0
+        assert aligned[0].times[-1] <= 88.0
+        assert len(aligned[0]) == len(aligned[1])
+        assert aligned[0].is_uniform
+
+    def test_no_overlap_rejected(self, rng):
+        a = TimeSeries.from_values(rng.standard_normal(10), t0=0.0)
+        b = TimeSeries.from_values(rng.standard_normal(10), t0=100.0, name="b")
+        with pytest.raises(AnalysisError, match="overlap"):
+            align_series([a, b])
+
+    def test_single_series_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            align_series([TimeSeries.from_values(rng.standard_normal(10))])
+
+    def test_correlation_matrix_self_unity(self, rng):
+        x = rng.standard_normal(200)
+        a = TimeSeries.from_values(x, name="a")
+        b = TimeSeries.from_values(x + 0.01 * rng.standard_normal(200), name="b")
+        names, mat = correlation_matrix([a, b])
+        assert names == ["a", "b"]
+        assert mat[0, 0] == pytest.approx(1.0)
+        assert mat[0, 1] > 0.95
+
+    def test_correlation_on_increments_removes_trend(self, rng):
+        t = np.arange(500.0)
+        a = TimeSeries.from_values(t + rng.standard_normal(500), name="a")
+        b = TimeSeries.from_values(t + rng.standard_normal(500), name="b")
+        __, level_corr = correlation_matrix([a, b], on_increments=False)
+        __, inc_corr = correlation_matrix([a, b], on_increments=True)
+        assert level_corr[0, 1] > 0.9        # trivial trend correlation
+        assert abs(inc_corr[0, 1]) < 0.2     # increments independent
+
+    def test_lagged_correlation_finds_lead(self, rng):
+        x = rng.standard_normal(2000)
+        lead = TimeSeries.from_values(x, name="lead")
+        lag5 = TimeSeries.from_values(np.roll(x, 5), name="lag")
+        lags, corr = lagged_correlation(lead, lag5, max_lag=10,
+                                        on_increments=False)
+        assert lags[np.argmax(corr)] == 5
+
+    def test_counters_of_run_alignable(self, nt4_run):
+        a = nt4_run.bundle["AvailableBytes"]
+        p = nt4_run.bundle["PagesPerSec"]
+        names, mat = correlation_matrix([a, p])
+        assert mat.shape == (2, 2)
+        assert np.all(np.abs(mat) <= 1.0 + 1e-12)

@@ -1,0 +1,151 @@
+"""End-to-end pipeline tests and baseline-detector tests on real runs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RawThresholdDetector, TrendExhaustionDetector, predict_exhaustion_time
+from repro.core import AgingReport, analyze_counter, analyze_run
+from repro.core.detectors import DetectorConfig
+from repro.exceptions import AnalysisError
+from repro.trace import TimeSeries
+
+
+class TestAnalyzeCounter:
+    def test_full_chain_on_crash_run(self, nt4_run):
+        analysis = analyze_counter(nt4_run.bundle["AvailableBytes"])
+        assert len(analysis.trajectory) == len(analysis.counter)
+        assert analysis.indicator.statistic == "mean"
+        assert analysis.alarm.scheme == "cusum"
+
+    def test_alarm_before_crash(self, nt4_run):
+        analysis = analyze_counter(nt4_run.bundle["AvailableBytes"])
+        assert analysis.alarm.fired
+        assert analysis.alarm.alarm_time < nt4_run.crash_time
+
+    def test_lead_time_positive_and_substantial(self, nt4_run):
+        analysis = analyze_counter(nt4_run.bundle["AvailableBytes"])
+        lead = analysis.alarm.lead_time(nt4_run.crash_time)
+        assert lead is not None
+        assert lead > 60.0  # at least a minute of warning
+
+    def test_gaps_handled(self, nt4_run):
+        # The raw bundle has dropped samples; the chain must cope.
+        ts = nt4_run.bundle["AvailableBytes"]
+        assert analyze_counter(ts).counter.has_gaps is False
+
+    def test_too_short_counter_rejected(self):
+        ts = TimeSeries.from_values(np.random.default_rng(0).standard_normal(100))
+        with pytest.raises(AnalysisError):
+            analyze_counter(ts)
+
+    def test_oscillation_method_works(self, nt4_run):
+        analysis = analyze_counter(
+            nt4_run.bundle["AvailableBytes"],
+            holder_method="oscillation",
+            indicator_window=256,
+        )
+        assert np.all(np.isfinite(analysis.trajectory.h))
+
+
+class TestAnalyzeRun:
+    def test_report_structure(self, nt4_run):
+        report = analyze_run(nt4_run.bundle, counters=["AvailableBytes", "PagesPerSec"])
+        assert isinstance(report, AgingReport)
+        assert set(report.analyses) == {"AvailableBytes", "PagesPerSec"}
+        assert report.crash_time == pytest.approx(nt4_run.crash_time)
+
+    def test_first_alarm_is_min(self, nt4_run):
+        report = analyze_run(nt4_run.bundle, counters=["AvailableBytes", "PagesPerSec"])
+        fired = [a.alarm.alarm_time for a in report.analyses.values() if a.alarm.fired]
+        assert report.first_alarm_time == min(fired)
+
+    def test_lead_time_consistent(self, nt4_run):
+        report = analyze_run(nt4_run.bundle, counters=["AvailableBytes"])
+        assert report.lead_time() == pytest.approx(
+            nt4_run.crash_time - report.first_alarm_time)
+
+    def test_alarmed_counters_sorted(self, nt4_run):
+        report = analyze_run(nt4_run.bundle, counters=["AvailableBytes", "PagesPerSec"])
+        names = report.alarmed_counters
+        times = [report.analyses[n].alarm.alarm_time for n in names]
+        assert times == sorted(times)
+
+    def test_empty_counters_rejected(self, nt4_run):
+        with pytest.raises(AnalysisError):
+            analyze_run(nt4_run.bundle, counters=[])
+
+    def test_healthy_run_mostly_quiet(self, healthy_run):
+        report = analyze_run(
+            healthy_run.bundle, counters=["AvailableBytes"],
+            indicator_window=256,
+        )
+        # Healthy machine: the detector may fire occasionally but the
+        # run-level report must carry no crash time.
+        assert report.crash_time is None
+        assert report.lead_time() is None
+
+
+class TestTrendBaseline:
+    def test_predict_exhaustion_linear(self):
+        t = np.arange(0.0, 1000.0)
+        v = 1000.0 - 1.0 * t
+        pred = predict_exhaustion_time(t, v)
+        assert pred == pytest.approx(1000.0, abs=5.0)
+
+    def test_no_prediction_without_depletion(self):
+        t = np.arange(0.0, 500.0)
+        v = 100.0 + 0.5 * t
+        assert predict_exhaustion_time(t, v) is None
+
+    def test_detects_depletion_on_crash_run(self, nt4_run):
+        det = TrendExhaustionDetector(window_seconds=3600.0, step_seconds=600.0,
+                                      horizon_seconds=10_000.0)
+        alarm = det.run(nt4_run.bundle["AvailableBytes"])
+        assert alarm.fired
+        assert alarm.alarm_time < nt4_run.crash_time
+        assert alarm.slope_at_alarm < 0
+
+    def test_quiet_on_healthy_run(self, healthy_run):
+        det = TrendExhaustionDetector(window_seconds=1800.0, step_seconds=600.0,
+                                      horizon_seconds=3600.0)
+        alarm = det.run(healthy_run.bundle["AvailableBytes"])
+        # Healthy machine shows no sustained significant depletion within horizon.
+        if alarm.fired:
+            # Permit borderline fires but they must predict far-future exhaustion.
+            assert alarm.predicted_exhaustion > healthy_run.duration
+
+    def test_short_series_rejected(self):
+        ts = TimeSeries.from_values(np.arange(10.0), name="x")
+        with pytest.raises(AnalysisError):
+            TrendExhaustionDetector().run(ts)
+
+
+class TestNaiveBaseline:
+    def test_fires_late_on_crash_run(self, nt4_run):
+        det = RawThresholdDetector(fraction_of_baseline=0.2)
+        alarm_time = det.run(nt4_run.bundle["AvailableBytes"])
+        assert alarm_time is not None
+        assert alarm_time < nt4_run.crash_time
+        # The naive alarm is late: it fires in the last third of the run.
+        assert alarm_time > 0.5 * nt4_run.crash_time
+
+    def test_quiet_on_healthy_run(self, healthy_run):
+        det = RawThresholdDetector(fraction_of_baseline=0.05, min_consecutive=30)
+        assert det.run(healthy_run.bundle["AvailableBytes"]) is None
+
+    def test_short_series_rejected(self):
+        ts = TimeSeries.from_values(np.arange(20.0))
+        with pytest.raises(AnalysisError):
+            RawThresholdDetector().run(ts)
+
+
+class TestDetectorComparison:
+    def test_multifractal_warns_before_naive(self, nt4_run):
+        """The paper's headline comparison, on one run."""
+        mf = analyze_counter(nt4_run.bundle["AvailableBytes"],
+                             detector_config=DetectorConfig(scheme="cusum"))
+        naive = RawThresholdDetector(fraction_of_baseline=0.1).run(
+            nt4_run.bundle["AvailableBytes"])
+        assert mf.alarm.fired
+        if naive is not None:
+            assert mf.alarm.alarm_time <= naive

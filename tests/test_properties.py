@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) on core data structures and transforms."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.fractal.wavelets import daubechies_filter, dwt, idwt
+from repro.memsim import MachineConfig, MemoryManager
+from repro.report import render_table
+from repro.simkernel import Simulator
+from repro.stats import fit_line
+from repro.trace import TimeSeries, fill_gaps
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def float_arrays(draw, min_size=2, max_size=200):
+    size = draw(st.integers(min_value=min_size, max_value=max_size))
+    return draw(hnp.arrays(np.float64, size, elements=finite_floats))
+
+
+class TestTimeSeriesProperties:
+    @given(float_arrays())
+    def test_from_values_round_trips(self, values):
+        ts = TimeSeries.from_values(values)
+        np.testing.assert_array_equal(ts.values, values)
+        assert len(ts) == values.size
+
+    @given(float_arrays(min_size=3), st.integers(min_value=1, max_value=5))
+    def test_head_tail_partition(self, values, n):
+        ts = TimeSeries.from_values(values)
+        n = min(n, len(ts) - 1)
+        head, tail = ts.head(n), ts.tail(len(ts) - n)
+        recombined = np.concatenate([head.values, tail.values])
+        np.testing.assert_array_equal(recombined, ts.values)
+
+    @given(float_arrays(min_size=4))
+    def test_fill_gaps_idempotent(self, values):
+        values = values.copy()
+        values[1] = np.nan
+        ts = TimeSeries.from_values(values)
+        filled = fill_gaps(ts)
+        assert not filled.has_gaps
+        np.testing.assert_array_equal(fill_gaps(filled).values, filled.values)
+
+    @given(float_arrays(min_size=4))
+    def test_dropna_never_longer(self, values):
+        ts = TimeSeries.from_values(values)
+        assert len(ts.dropna()) <= len(ts)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_events_fire_sorted(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run_until(1e6)
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+                    min_size=2, max_size=30),
+           st.data())
+    def test_cancellation_removes_exactly_cancelled(self, times, data):
+        sim = Simulator()
+        fired = []
+        handles = [sim.schedule(t, lambda i=i: fired.append(i))
+                   for i, t in enumerate(times)]
+        to_cancel = data.draw(st.sets(
+            st.integers(min_value=0, max_value=len(times) - 1)))
+        for i in to_cancel:
+            handles[i].cancel()
+        sim.run_until(1e6)
+        assert set(fired) == set(range(len(times))) - to_cancel
+
+
+class TestDwtProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=1000))
+    def test_perfect_reconstruction_any_filter(self, wavelet, seed):
+        x = np.random.default_rng(seed).standard_normal(128)
+        coeffs = dwt(x, wavelet=wavelet, level=3)
+        np.testing.assert_allclose(idwt(coeffs, wavelet=wavelet), x, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=10))
+    def test_filter_orthonormal(self, n_moments):
+        h = daubechies_filter(n_moments)
+        assert abs(np.sum(h**2) - 1.0) < 1e-8
+        assert abs(np.sum(h) - np.sqrt(2)) < 1e-8
+
+
+class TestRegressionProperties:
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False),
+           st.floats(min_value=-100, max_value=100, allow_nan=False),
+           st.integers(min_value=0, max_value=10_000))
+    def test_exact_line_recovered(self, slope, intercept, seed):
+        rng = np.random.default_rng(seed)
+        x = np.sort(rng.uniform(-10, 10, size=20))
+        if np.ptp(x) < 1e-6:
+            return
+        fit = fit_line(x, slope * x + intercept)
+        assert abs(fit.slope - slope) < 1e-6 * max(1, abs(slope))
+        assert abs(fit.intercept - intercept) < 1e-5 * max(1, abs(intercept))
+
+    @given(float_arrays(min_size=3, max_size=50), st.floats(min_value=0.1, max_value=10))
+    def test_scaling_y_scales_slope(self, y, factor):
+        x = np.arange(y.size, dtype=float)
+        base = fit_line(x, y).slope
+        scaled = fit_line(x, factor * y).slope
+        assert abs(scaled - factor * base) < 1e-6 * (1 + abs(base) * factor)
+
+
+class TestAllocatorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=2000)),
+                    min_size=1, max_size=120),
+           st.integers(min_value=0, max_value=100))
+    def test_invariants_under_random_traffic(self, ops, seed):
+        mem = MemoryManager(MachineConfig.nt4(), np.random.default_rng(seed))
+        for is_alloc, pages in ops:
+            if is_alloc:
+                mem.allocate(pages)
+            else:
+                if mem.committed_pages > 0:
+                    mem.free(min(pages, mem.committed_pages))
+            mem.check_invariants()
+        # Conservation: allocations - frees = live commit (+/- thrash moves
+        # which preserve commit).
+        assert (mem.cum_allocated_pages - mem.cum_freed_pages
+                == mem.committed_pages)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=50))
+    def test_exhaustion_is_reported_not_raised(self, seed):
+        mem = MemoryManager(MachineConfig.nt4(), np.random.default_rng(seed))
+        limit = mem.effective_commit_limit_pages
+        step = max(limit // 7, 1)
+        failures = 0
+        for _ in range(12):
+            if not mem.allocate(step).ok:
+                failures += 1
+        assert failures >= 1
+        mem.check_invariants()
+
+
+class TestTableProperties:
+    @given(st.lists(st.lists(finite_floats, min_size=2, max_size=2),
+                    min_size=1, max_size=20))
+    def test_table_renders_any_floats(self, rows):
+        out = render_table(["a", "b"], rows)
+        body = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(body) == len(rows) + 1  # + header

@@ -1,0 +1,83 @@
+"""Tests for ASCII tables and figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.report import render_kv, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert lines[0].startswith("+")
+        assert "| " in lines[1]
+        assert "2.5" in out and "30" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T1: demo")
+        assert out.splitlines()[0] == "T1: demo"
+
+    def test_column_alignment(self):
+        out = render_table(["col"], [[1], [100000]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # all rows same width
+
+    def test_float_format(self):
+        out = render_table(["x"], [[3.14159265]], float_format="{:.2f}")
+        assert "3.14" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            render_table([], [])
+
+    def test_strings_and_none(self):
+        out = render_table(["a"], [["hello"], [None]])
+        assert "hello" in out and "None" in out
+
+
+class TestRenderKv:
+    def test_alignment(self):
+        out = render_kv({"a": 1, "longer_key": 2.0})
+        lines = out.splitlines()
+        assert all(" : " in l for l in lines)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            render_kv({})
+
+
+class TestRenderSeries:
+    def test_shape(self):
+        out = render_series(np.sin(np.linspace(0, 10, 500)), width=60, height=8)
+        lines = out.splitlines()
+        assert len(lines) == 10  # 8 rows + 2 borders
+        assert all("|" in l for l in lines[1:-1])
+
+    def test_title_and_range_labels(self):
+        out = render_series([0.0, 5.0, 10.0, 2.0], title="fig", width=10, height=4)
+        assert out.splitlines()[0] == "fig"
+        assert "10" in out and "0" in out
+
+    def test_markers(self):
+        x = np.arange(100.0)
+        out = render_series(x, x_values=x, markers=[(50.0, "crash")], width=50)
+        assert "C=crash@50" in out
+
+    def test_markers_need_x(self):
+        with pytest.raises(ValidationError):
+            render_series([1.0, 2.0], markers=[(1.0, "m")])
+
+    def test_constant_series(self):
+        out = render_series(np.full(50, 3.0), width=20, height=4)
+        assert "*" in out
+
+    def test_resampling_long_series(self):
+        out = render_series(np.random.default_rng(0).standard_normal(100_000),
+                            width=40, height=6)
+        assert max(len(l) for l in out.splitlines()) < 70

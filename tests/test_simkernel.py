@@ -1,0 +1,248 @@
+"""Unit tests for the discrete-event kernel: engine, RNG registry, processes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simkernel import PeriodicProcess, RngRegistry, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(10.0)
+        assert fired == [1, 3, 5]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(2.0, lambda i=i: fired.append(i))
+        sim.run_until(10.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("low"), priority=5)
+        sim.schedule(1.0, lambda: fired.append("high"), priority=-5)
+        sim.run_until(2.0)
+        assert fired == ["high", "low"]
+
+    def test_clock_advances_to_t_end(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_clock_equals_event_time_inside_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7.5, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [7.5]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError, match="before now"):
+            sim.schedule(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_from_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(k):
+            fired.append(k)
+            if k < 3:
+                sim.schedule_in(1.0, lambda: chain(k + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run_until(10.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_event_beyond_t_end_not_fired(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(1))
+        sim.run_until(50.0)
+        assert fired == []
+        sim.run_until(150.0)
+        assert fired == [1]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run_until(5.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_counts_exclude_cancelled(self):
+        sim = Simulator()
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        h1.cancel()
+        assert sim.pending == 1
+
+
+class TestStopAndLimits:
+    def test_stop_halts_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(10.0)
+        assert fired == [1]
+        assert sim.now == 1.0
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule_in(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until(1.0, max_events=100)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run_until(99.0)
+            except SimulationError as exc:
+                errors.append(str(exc))
+
+        sim.schedule(1.0, reenter)
+        sim.run_until(5.0)
+        assert len(errors) == 1
+
+    def test_run_next_steps_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.run_next()
+        assert fired == [1]
+        assert sim.run_next()
+        assert not sim.run_next()
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run_until(10.0)
+        assert sim.events_fired == 3
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        rngs = RngRegistry(7)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_different_names_different_draws(self):
+        rngs = RngRegistry(7)
+        a = rngs.stream("a").random(8)
+        b = rngs.stream("b").random(8)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_registries(self):
+        a = RngRegistry(7).stream("x").random(8)
+        b = RngRegistry(7).stream("x").random(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_creation_order_irrelevant(self):
+        r1 = RngRegistry(7)
+        r1.stream("a")
+        x1 = r1.stream("x").random(4)
+        r2 = RngRegistry(7)
+        x2 = r2.stream("x").random(4)  # "a" never created here
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_spawn_changes_streams(self):
+        base = RngRegistry(7)
+        child = base.spawn(1)
+        assert not np.allclose(base.stream("x").random(4),
+                               child.stream("x").random(4))
+
+    def test_spawn_deterministic(self):
+        a = RngRegistry(7).spawn(3).stream("x").random(4)
+        b = RngRegistry(7).spawn(3).stream("x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SimulationError):
+            RngRegistry(1).stream("")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(SimulationError):
+            RngRegistry("seed")  # type: ignore[arg-type]
+
+
+class _Ticker(PeriodicProcess):
+    def __init__(self, sim, rngs, period=1.0, phase=None):
+        super().__init__(sim, rngs, "ticker", period, phase)
+        self.ticks = []
+
+    def tick(self):
+        self.ticks.append(self.sim.now)
+
+
+class TestPeriodicProcess:
+    def test_fires_every_period(self):
+        sim = Simulator()
+        proc = _Ticker(sim, RngRegistry(0), period=2.0)
+        proc.ensure_started()
+        sim.run_until(7.0)
+        assert proc.ticks == [2.0, 4.0, 6.0]
+
+    def test_phase_controls_first_tick(self):
+        sim = Simulator()
+        proc = _Ticker(sim, RngRegistry(0), period=2.0, phase=0.5)
+        proc.ensure_started()
+        sim.run_until(5.0)
+        assert proc.ticks == [0.5, 2.5, 4.5]
+
+    def test_stop_halts_ticks(self):
+        sim = Simulator()
+        proc = _Ticker(sim, RngRegistry(0), period=1.0)
+        proc.ensure_started()
+        sim.run_until(3.5)
+        proc.stop()
+        sim.run_until(10.0)
+        assert proc.ticks == [1.0, 2.0, 3.0]
+
+    def test_ensure_started_idempotent(self):
+        sim = Simulator()
+        proc = _Ticker(sim, RngRegistry(0), period=1.0)
+        proc.ensure_started()
+        proc.ensure_started()
+        sim.run_until(2.5)
+        assert proc.ticks == [1.0, 2.0]

@@ -1,0 +1,113 @@
+"""Unit tests for block bootstrap and ROC scoring."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError, ValidationError
+from repro.stats import auc, block_bootstrap_ci, roc_curve, score_detections
+
+
+class TestBlockBootstrap:
+    def test_mean_ci_covers_truth(self, rng):
+        x = 5.0 + rng.standard_normal(400)
+        point, lo, hi = block_bootstrap_ci(x, np.mean, n_resamples=300, rng=rng)
+        assert lo < 5.0 < hi
+        assert point == pytest.approx(5.0, abs=0.2)
+
+    def test_interval_widens_with_confidence(self, rng):
+        x = rng.standard_normal(300)
+        _, lo90, hi90 = block_bootstrap_ci(x, np.mean, confidence=0.90, rng=rng)
+        _, lo99, hi99 = block_bootstrap_ci(x, np.mean, confidence=0.99, rng=rng)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+    def test_dependent_series_wider_than_iid_naive(self, rng):
+        # Strongly autocorrelated series: block bootstrap should produce a
+        # wider interval than tiny blocks (which destroy the dependence).
+        n = 600
+        e = rng.standard_normal(n)
+        x = np.empty(n)
+        x[0] = e[0]
+        for i in range(1, n):
+            x[i] = 0.9 * x[i - 1] + e[i]
+        _, lo_small, hi_small = block_bootstrap_ci(
+            x, np.mean, block_length=2, n_resamples=400, rng=np.random.default_rng(9))
+        _, lo_big, hi_big = block_bootstrap_ci(
+            x, np.mean, block_length=60, n_resamples=400, rng=np.random.default_rng(9))
+        assert (hi_big - lo_big) > (hi_small - lo_small)
+
+    def test_block_length_bounds(self, rng):
+        with pytest.raises(AnalysisError):
+            block_bootstrap_ci(rng.standard_normal(20), np.mean, block_length=25)
+
+    def test_bad_confidence(self, rng):
+        with pytest.raises(ValidationError):
+            block_bootstrap_ci(rng.standard_normal(50), np.mean, confidence=1.0)
+
+    def test_nonfinite_statistic_rejected(self, rng):
+        with pytest.raises(AnalysisError):
+            block_bootstrap_ci(
+                rng.standard_normal(50), lambda a: float("nan"), rng=rng)
+
+
+class TestScoreDetections:
+    def test_all_detected(self):
+        out = score_detections([900.0, 800.0], [1000.0, 1000.0])
+        assert out.n_detected == 2
+        assert out.detection_rate == 1.0
+        assert out.median_lead_time == pytest.approx(150.0)
+
+    def test_missed_when_none(self):
+        out = score_detections([None], [1000.0])
+        assert out.n_missed == 1
+        assert np.isnan(out.median_lead_time)
+
+    def test_alarm_after_crash_is_missed(self):
+        out = score_detections([1500.0], [1000.0])
+        assert out.n_missed == 1
+
+    def test_premature_alarm(self):
+        # Alarm at 2% of life with max_lead_fraction=0.9 -> premature.
+        out = score_detections([20.0], [1000.0])
+        assert out.n_premature == 1
+
+    def test_min_lead_enforced(self):
+        out = score_detections([995.0], [1000.0], min_lead=10.0)
+        assert out.n_missed == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            score_detections([None], [1000.0, 2000.0])
+
+    def test_nonpositive_crash_rejected(self):
+        with pytest.raises(ValidationError):
+            score_detections([None], [0.0])
+
+    def test_mixed_accounting_sums(self):
+        out = score_detections([900.0, None, 10.0, 1500.0], [1000.0] * 4)
+        assert out.n_runs == 4
+        assert out.n_detected + out.n_premature + out.n_missed == 4
+
+
+class TestRoc:
+    def test_perfect_separation(self):
+        fpr, tpr = roc_curve([10.0, 11.0, 12.0], [1.0, 2.0, 3.0])
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_no_separation(self):
+        rng = np.random.default_rng(0)
+        scores = rng.standard_normal(2000)
+        fpr, tpr = roc_curve(scores[:1000], scores[1000:])
+        assert auc(fpr, tpr) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scores(self):
+        fpr, tpr = roc_curve([1.0, 2.0], [10.0, 11.0])
+        assert auc(fpr, tpr) == pytest.approx(0.0, abs=1e-12)
+
+    def test_curve_endpoints(self):
+        fpr, tpr = roc_curve([5.0], [1.0])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_auc_requires_sorted_fpr(self):
+        with pytest.raises(AnalysisError):
+            auc([0.0, 0.5, 0.2], [0.0, 0.5, 1.0])

@@ -1,0 +1,147 @@
+"""Unit tests for CUSUM, EWMA and offline changepoint location."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.stats import CusumDetector, EwmaDetector, find_single_changepoint
+from repro.stats.changepoint import detect_level_jumps
+
+
+def shifted_series(rng, n_before=200, n_after=100, shift=3.0):
+    before = rng.standard_normal(n_before)
+    after = shift + rng.standard_normal(n_after)
+    return before, np.concatenate([before, after])
+
+
+class TestCusum:
+    def test_detects_upward_shift(self, rng):
+        before, full = shifted_series(rng)
+        det = CusumDetector()
+        det.calibrate(before)
+        alarm = det.run(np.arange(full.size, dtype=float), full)
+        assert alarm is not None
+        assert 200 <= alarm <= 220  # shortly after the shift
+
+    def test_no_alarm_in_control(self, rng):
+        x = rng.standard_normal(500)
+        det = CusumDetector(h=8.0)
+        det.calibrate(x[:100])
+        assert det.run(np.arange(500.0), x) is None
+
+    def test_alarm_latches(self, rng):
+        before, full = shifted_series(rng)
+        det = CusumDetector()
+        det.calibrate(before)
+        for v in full:
+            det.update(v)
+        assert det.alarmed
+
+    def test_reset_clears(self, rng):
+        det = CusumDetector()
+        det.calibrate(rng.standard_normal(50))
+        det.update(100.0)
+        det.update(100.0)
+        det.update(100.0)
+        assert det.alarmed
+        det.reset()
+        assert not det.alarmed
+        assert det.statistic == 0.0
+
+    def test_use_before_calibrate_raises(self):
+        with pytest.raises(AnalysisError):
+            CusumDetector().update(1.0)
+
+    def test_constant_baseline_rejected(self):
+        with pytest.raises(AnalysisError):
+            CusumDetector().calibrate(np.ones(20))
+
+    def test_calibrate_from_moments(self):
+        det = CusumDetector(k=0.5, h=3.0)
+        det.calibrate_from_moments(0.0, 1.0)
+        fired = False
+        for _ in range(10):
+            fired = det.update(5.0)
+        assert fired
+
+    def test_bad_moments_rejected(self):
+        with pytest.raises(AnalysisError):
+            CusumDetector().calibrate_from_moments(0.0, 0.0)
+
+    def test_higher_k_slower(self, rng):
+        before, full = shifted_series(rng, shift=1.5)
+        times = np.arange(full.size, dtype=float)
+        lo = CusumDetector(k=0.25, h=5.0)
+        lo.calibrate(before)
+        hi = CusumDetector(k=1.25, h=5.0)
+        hi.calibrate(before)
+        a_lo, a_hi = lo.run(times, full), hi.run(times, full)
+        assert a_lo is not None
+        assert a_hi is None or a_hi >= a_lo
+
+
+class TestEwma:
+    def test_detects_shift(self, rng):
+        before, full = shifted_series(rng)
+        det = EwmaDetector()
+        det.calibrate(before)
+        alarm = det.run(np.arange(full.size, dtype=float), full)
+        assert alarm is not None and alarm >= 200
+
+    def test_in_control_quiet(self, rng):
+        x = rng.standard_normal(400)
+        det = EwmaDetector(L=4.0)
+        det.calibrate(x[:100])
+        assert det.run(np.arange(400.0), x) is None
+
+    def test_invalid_lambda(self):
+        with pytest.raises(AnalysisError):
+            EwmaDetector(lam=0.0)
+        with pytest.raises(AnalysisError):
+            EwmaDetector(lam=1.5)
+
+    def test_statistic_tracks_level(self, rng):
+        det = EwmaDetector(lam=0.5)
+        det.calibrate(rng.standard_normal(50))
+        for _ in range(50):
+            det.update(2.0)
+        assert det.statistic == pytest.approx(2.0, abs=0.05)
+
+    def test_use_before_calibrate_raises(self):
+        with pytest.raises(AnalysisError):
+            EwmaDetector().update(1.0)
+
+
+class TestOfflineChangepoint:
+    def test_locates_mean_shift(self, rng):
+        x = np.concatenate([rng.standard_normal(150), 4.0 + rng.standard_normal(150)])
+        tau = find_single_changepoint(x)
+        assert 140 <= tau <= 160
+
+    def test_min_segment_respected(self, rng):
+        x = rng.standard_normal(40)
+        tau = find_single_changepoint(x, min_segment=15)
+        assert 15 <= tau <= 25
+
+    def test_too_short_rejected(self):
+        with pytest.raises(AnalysisError):
+            find_single_changepoint(np.arange(8.0), min_segment=5)
+
+    def test_shift_at_known_index(self):
+        x = np.concatenate([np.zeros(50), np.ones(50)])
+        assert find_single_changepoint(x) == 50
+
+
+class TestLevelJumps:
+    def test_flags_spike(self, rng):
+        x = rng.standard_normal(200)
+        x[120] += 25.0
+        jumps = detect_level_jumps(x, window=30, z_threshold=5.0)
+        assert 120 in jumps
+
+    def test_quiet_series_no_jumps(self, rng):
+        x = rng.standard_normal(200)
+        assert detect_level_jumps(x, window=30, z_threshold=8.0) == []
+
+    def test_short_series_empty(self, rng):
+        assert detect_level_jumps(rng.standard_normal(10), window=20) == []

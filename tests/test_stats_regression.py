@@ -1,0 +1,85 @@
+"""Unit tests for line fitting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError, ValidationError
+from repro.stats import fit_line, fit_line_wls
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        fit = fit_line(x, 3.0 * x + 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_recovers_slope(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 10, 200)
+        y = -2.0 * x + 1.0 + 0.1 * rng.standard_normal(200)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(-2.0, abs=0.02)
+        assert fit.stderr_slope < 0.01
+
+    def test_stderr_shrinks_with_n(self):
+        rng = np.random.default_rng(2)
+        fits = []
+        for n in (50, 5000):
+            x = np.linspace(0, 1, n)
+            y = x + rng.standard_normal(n)
+            fits.append(fit_line(x, y))
+        assert fits[1].stderr_slope < fits[0].stderr_slope
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(AnalysisError, match="identical"):
+            fit_line([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            fit_line([1, 2, 3], [1, 2])
+
+    def test_predict_and_residuals(self):
+        fit = fit_line([0.0, 1.0], [1.0, 3.0])
+        np.testing.assert_allclose(fit.predict([2.0]), [5.0])
+        np.testing.assert_allclose(fit.residuals([0, 1], [1, 3]), [0, 0], atol=1e-12)
+
+    def test_r_squared_zero_for_flat_y_with_noise_pattern(self):
+        # Perfectly flat y: syy == 0 handled as r^2 = 1 (degenerate perfect fit).
+        fit = fit_line([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+
+class TestWeighted:
+    def test_unit_weights_match_ols(self):
+        rng = np.random.default_rng(3)
+        x = np.linspace(0, 1, 50)
+        y = 2 * x + rng.standard_normal(50)
+        a = fit_line(x, y)
+        b = fit_line_wls(x, y, np.ones(50))
+        assert a.slope == pytest.approx(b.slope)
+        assert a.stderr_slope == pytest.approx(b.stderr_slope)
+
+    def test_zero_weight_points_ignored(self):
+        x = np.array([0.0, 1.0, 2.0, 100.0])
+        y = np.array([0.0, 1.0, 2.0, -50.0])
+        w = np.array([1.0, 1.0, 1.0, 0.0])
+        fit = fit_line_wls(x, y, w)
+        assert fit.slope == pytest.approx(1.0)
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValidationError):
+            fit_line_wls([0, 1], [0, 1], [-1.0, 1.0])
+
+    def test_needs_two_positive_weights(self):
+        with pytest.raises(AnalysisError):
+            fit_line_wls([0, 1, 2], [0, 1, 2], [1.0, 0.0, 0.0])
+
+    def test_heavier_points_pull_fit(self):
+        x = np.array([0.0, 1.0, 2.0])
+        y = np.array([0.0, 0.0, 3.0])
+        light = fit_line_wls(x, y, [1.0, 1.0, 1.0]).slope
+        heavy = fit_line_wls(x, y, [1.0, 1.0, 10.0]).slope
+        assert heavy > light

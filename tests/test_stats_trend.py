@@ -1,0 +1,83 @@
+"""Unit tests for Mann-Kendall and Sen slope."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.stats import mann_kendall, sen_slope
+
+
+class TestMannKendall:
+    def test_strong_increase_detected(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(200.0) + rng.standard_normal(200)
+        res = mann_kendall(x)
+        assert res.trend == "increasing"
+        assert res.p_value < 1e-6
+        assert res.s > 0
+
+    def test_strong_decrease_detected(self):
+        rng = np.random.default_rng(1)
+        x = -0.5 * np.arange(200.0) + rng.standard_normal(200)
+        res = mann_kendall(x)
+        assert res.trend == "decreasing"
+        assert res.z < 0
+
+    def test_white_noise_no_trend(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(300)
+        res = mann_kendall(x)
+        assert res.trend == "none"
+        assert res.p_value > 0.05
+
+    def test_ties_handled(self):
+        x = np.repeat(np.arange(20.0), 5)  # many ties, still increasing
+        res = mann_kendall(x)
+        assert res.trend == "increasing"
+
+    def test_constant_rejected(self):
+        with pytest.raises(AnalysisError):
+            mann_kendall(np.ones(50))
+
+    def test_long_series_subsampled(self):
+        x = np.arange(10_000.0)
+        res = mann_kendall(x)  # must not take O(n^2) on the full series
+        assert res.trend == "increasing"
+
+    def test_alpha_controls_decision(self):
+        rng = np.random.default_rng(3)
+        x = 0.002 * np.arange(100.0) + rng.standard_normal(100)
+        strict = mann_kendall(x, alpha=1e-9)
+        assert strict.trend == "none"
+
+
+class TestSenSlope:
+    def test_exact_line(self):
+        t = np.arange(50.0)
+        assert sen_slope(t, 3.0 * t + 2) == pytest.approx(3.0)
+
+    def test_robust_to_outliers(self):
+        t = np.arange(100.0)
+        y = 2.0 * t.copy()
+        y[::10] += 500.0  # gross outliers
+        assert sen_slope(t, y) == pytest.approx(2.0, abs=0.3)
+
+    def test_noisy_slope(self):
+        rng = np.random.default_rng(4)
+        t = np.arange(500.0)
+        y = -0.75 * t + 20 * rng.standard_normal(500)
+        assert sen_slope(t, y) == pytest.approx(-0.75, abs=0.05)
+
+    def test_long_series_subsampling_path(self):
+        rng = np.random.default_rng(5)
+        t = np.arange(3000.0)
+        y = 1.5 * t + rng.standard_normal(3000)
+        assert sen_slope(t, y, max_pairs=10_000) == pytest.approx(1.5, abs=0.05)
+
+    def test_identical_times_rejected(self):
+        with pytest.raises(AnalysisError):
+            sen_slope([1.0, 1.0], [0.0, 1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            sen_slope([1.0, 2.0, 3.0], [0.0, 1.0])

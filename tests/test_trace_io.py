@@ -1,0 +1,111 @@
+"""Round-trip and malformed-input tests for trace CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.trace import TimeSeries, TraceBundle, read_csv, write_csv
+
+
+def make_bundle():
+    b = TraceBundle(metadata={"crash_time": 123.5, "os_profile": "nt4"})
+    b.add(TimeSeries.from_values([1.0, 2.0, 3.0], name="a", units="bytes"))
+    b.add(TimeSeries(times=[0.0, 2.0], values=[10.0, 30.0], name="b"))
+    return b
+
+
+class TestRoundTrip:
+    def test_values_survive(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(make_bundle(), path)
+        back = read_csv(path)
+        np.testing.assert_allclose(back["a"].values, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(back["a"].times, [0.0, 1.0, 2.0])
+
+    def test_metadata_survives(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(make_bundle(), path)
+        back = read_csv(path)
+        assert back.metadata["crash_time"] == 123.5
+        assert back.metadata["os_profile"] == "nt4"
+
+    def test_unaligned_series_get_gaps(self, tmp_path):
+        # 'b' is sampled at t=0,2 only; on the union grid t=1 is a gap.
+        path = tmp_path / "t.csv"
+        write_csv(make_bundle(), path)
+        back = read_csv(path)
+        b = back["b"]
+        assert len(b) == 3
+        assert np.isnan(b.values[1])
+        np.testing.assert_allclose(b.values[[0, 2]], [10.0, 30.0])
+
+    def test_nan_gap_round_trips(self, tmp_path):
+        bundle = TraceBundle()
+        bundle.add(TimeSeries(times=[0, 1, 2], values=[1.0, np.nan, 3.0], name="g"))
+        path = tmp_path / "t.csv"
+        write_csv(bundle, path)
+        back = read_csv(path)
+        assert np.isnan(back["g"].values[1])
+
+    def test_high_precision_times(self, tmp_path):
+        bundle = TraceBundle()
+        times = [0.123456789, 1.987654321]
+        bundle.add(TimeSeries(times=times, values=[1.0, 2.0], name="p"))
+        path = tmp_path / "t.csv"
+        write_csv(bundle, path)
+        back = read_csv(path)
+        np.testing.assert_allclose(back["p"].times, times, rtol=1e-9)
+
+
+class TestErrors:
+    def test_empty_bundle_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="empty"):
+            write_csv(TraceBundle(), tmp_path / "t.csv")
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("")
+        with pytest.raises(TraceError, match="header"):
+            read_csv(path)
+
+    def test_wrong_first_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,a\n0,1\n")
+        with pytest.raises(TraceError, match="time"):
+            read_csv(path)
+
+    def test_no_counter_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time\n0\n")
+        with pytest.raises(TraceError, match="no counter columns"):
+            read_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,a\n0,1,extra\n")
+        with pytest.raises(TraceError, match="cells"):
+            read_csv(path)
+
+    def test_malformed_metadata(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# nonsense-without-equals\ntime,a\n0,1\n")
+        with pytest.raises(TraceError, match="metadata"):
+            read_csv(path)
+
+    def test_no_data_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,a\n")
+        with pytest.raises(TraceError, match="no data rows"):
+            read_csv(path)
+
+
+class TestSimulatorBundleRoundTrip:
+    def test_full_run_bundle(self, tmp_path, nt4_run):
+        path = tmp_path / "run.csv"
+        write_csv(nt4_run.bundle, path)
+        back = read_csv(path)
+        assert set(back.names) == set(nt4_run.bundle.names)
+        assert back.metadata["crash_time"] == pytest.approx(nt4_run.crash_time)
+        orig = nt4_run.bundle["AvailableBytes"].dropna()
+        readback = back["AvailableBytes"].dropna()
+        np.testing.assert_allclose(readback.values, orig.values)

@@ -1,0 +1,155 @@
+"""Unit tests for TimeSeries and TraceBundle."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError, ValidationError
+from repro.trace import TimeSeries, TraceBundle
+
+
+def make(values, dt=1.0, name="x"):
+    return TimeSeries.from_values(values, dt=dt, name=name)
+
+
+class TestConstruction:
+    def test_from_values_builds_uniform_grid(self):
+        ts = TimeSeries.from_values([1, 2, 3], dt=2.0, t0=10.0)
+        assert ts.times.tolist() == [10.0, 12.0, 14.0]
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValidationError, match="equal length"):
+            TimeSeries(times=[0, 1], values=[1.0])
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ValidationError, match="strictly increasing"):
+            TimeSeries(times=[0, 0], values=[1.0, 2.0])
+
+    def test_rejects_nan_times(self):
+        with pytest.raises(ValidationError, match="times"):
+            TimeSeries(times=[0, np.nan], values=[1.0, 2.0])
+
+    def test_values_may_contain_nan_gaps(self):
+        ts = TimeSeries(times=[0, 1], values=[1.0, np.nan])
+        assert ts.has_gaps
+
+    def test_arrays_are_frozen(self):
+        ts = make([1, 2, 3])
+        with pytest.raises(ValueError):
+            ts.values[0] = 99.0
+
+    def test_rejects_negative_dt(self):
+        with pytest.raises(ValidationError):
+            TimeSeries.from_values([1, 2], dt=-1.0)
+
+
+class TestProperties:
+    def test_len(self):
+        assert len(make([1, 2, 3])) == 3
+
+    def test_duration(self):
+        assert make([1, 2, 3], dt=5.0).duration == 10.0
+
+    def test_duration_single_sample(self):
+        assert make([1]).duration == 0.0
+
+    def test_dt_is_median_interval(self):
+        ts = TimeSeries(times=[0, 1, 2, 10], values=[0.0] * 4)
+        assert ts.dt == 1.0
+
+    def test_dt_undefined_for_singleton(self):
+        with pytest.raises(TraceError):
+            _ = make([1]).dt
+
+    def test_is_uniform_true(self):
+        assert make([1, 2, 3, 4]).is_uniform
+
+    def test_is_uniform_false(self):
+        ts = TimeSeries(times=[0, 1, 3], values=[0.0] * 3)
+        assert not ts.is_uniform
+
+
+class TestTransforms:
+    def test_with_values_keeps_times(self):
+        ts = make([1, 2, 3])
+        out = ts.with_values([4, 5, 6])
+        assert out.values.tolist() == [4, 5, 6]
+        assert out.times.tolist() == ts.times.tolist()
+
+    def test_slice_time_half_open(self):
+        ts = make([10, 20, 30, 40])
+        out = ts.slice_time(1.0, 3.0)
+        assert out.values.tolist() == [20, 30]
+
+    def test_slice_time_rejects_empty_interval(self):
+        with pytest.raises(ValidationError):
+            make([1, 2]).slice_time(5.0, 5.0)
+
+    def test_head_tail(self):
+        ts = make([1, 2, 3, 4])
+        assert ts.head(2).values.tolist() == [1, 2]
+        assert ts.tail(2).values.tolist() == [3, 4]
+
+    def test_dropna(self):
+        ts = TimeSeries(times=[0, 1, 2], values=[1.0, np.nan, 3.0])
+        out = ts.dropna()
+        assert out.values.tolist() == [1.0, 3.0]
+        assert out.times.tolist() == [0.0, 2.0]
+
+    def test_map_applies_elementwise(self):
+        out = make([1, 2, 3]).map(lambda v: v * 2)
+        assert out.values.tolist() == [2, 4, 6]
+
+    def test_map_rejects_shape_change(self):
+        with pytest.raises(ValidationError):
+            make([1, 2, 3]).map(lambda v: v[:2])
+
+
+class TestSummary:
+    def test_summary_ignores_gaps(self):
+        ts = TimeSeries(times=[0, 1, 2], values=[1.0, np.nan, 3.0])
+        s = ts.summary()
+        assert s["mean"] == 2.0
+        assert s["n_gaps"] == 1.0
+        assert s["first"] == 1.0
+        assert s["last"] == 3.0
+
+    def test_summary_all_gaps_raises(self):
+        ts = TimeSeries(times=[0, 1], values=[np.nan, np.nan])
+        with pytest.raises(TraceError):
+            ts.summary()
+
+
+class TestTraceBundle:
+    def test_add_and_get(self):
+        b = TraceBundle()
+        b.add(make([1, 2], name="a"))
+        assert b["a"].name == "a"
+        assert "a" in b
+        assert len(b) == 1
+
+    def test_duplicate_name_rejected(self):
+        b = TraceBundle()
+        b.add(make([1, 2], name="a"))
+        with pytest.raises(TraceError, match="already contains"):
+            b.add(make([3, 4], name="a"))
+
+    def test_missing_name_lists_available(self):
+        b = TraceBundle()
+        b.add(make([1, 2], name="a"))
+        with pytest.raises(TraceError, match="available"):
+            _ = b["zzz"]
+
+    def test_iteration_order(self):
+        b = TraceBundle()
+        b.add(make([1], name="z"))
+        b.add(make([1], name="a"))
+        assert b.names == ["z", "a"]
+        assert [ts.name for ts in b] == ["z", "a"]
+
+    def test_from_mapping_renames(self):
+        b = TraceBundle.from_mapping({"renamed": make([1, 2], name="orig")})
+        assert b["renamed"].name == "renamed"
+
+    def test_metadata_carried(self):
+        b = TraceBundle.from_mapping({}, metadata={"crash_time": 5.0})
+        assert b.metadata["crash_time"] == 5.0

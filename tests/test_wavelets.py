@@ -1,0 +1,167 @@
+"""Unit tests for the from-scratch wavelet machinery."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.fractal.wavelets import (
+    cwt,
+    daubechies_filter,
+    dwt,
+    dwt_max_level,
+    idwt,
+    modwt,
+)
+
+
+class TestDaubechiesFilters:
+    @pytest.mark.parametrize("n_moments", range(1, 11))
+    def test_orthonormality(self, n_moments):
+        h = daubechies_filter(n_moments)
+        assert h.size == 2 * n_moments
+        assert h.sum() == pytest.approx(np.sqrt(2.0), abs=1e-9)
+        assert np.sum(h**2) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("n_moments", range(2, 11))
+    def test_even_shift_orthogonality(self, n_moments):
+        h = daubechies_filter(n_moments)
+        for k in range(1, n_moments):
+            inner = np.dot(h[2 * k:], h[: h.size - 2 * k])
+            assert abs(inner) < 1e-7
+
+    def test_haar(self):
+        np.testing.assert_allclose(daubechies_filter(1), [1, 1] / np.sqrt(2))
+
+    def test_db2_textbook_values(self):
+        expected = np.array([
+            (1 + np.sqrt(3)) / (4 * np.sqrt(2)),
+            (3 + np.sqrt(3)) / (4 * np.sqrt(2)),
+            (3 - np.sqrt(3)) / (4 * np.sqrt(2)),
+            (1 - np.sqrt(3)) / (4 * np.sqrt(2)),
+        ])
+        np.testing.assert_allclose(daubechies_filter(2), expected, atol=1e-10)
+
+    @pytest.mark.parametrize("n_moments", [2, 4, 6])
+    def test_vanishing_moments(self, n_moments):
+        # The QMF high-pass must annihilate polynomials of degree < N.
+        from repro.fractal.wavelets import _qmf
+
+        g = _qmf(daubechies_filter(n_moments))
+        t = np.arange(g.size, dtype=float)
+        for degree in range(n_moments):
+            assert abs(np.dot(g, t**degree)) < 1e-6
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            daubechies_filter(11)
+        with pytest.raises(ValidationError):
+            daubechies_filter(0)
+
+
+class TestDwt:
+    @pytest.mark.parametrize("wavelet", [1, 2, 4, 8])
+    def test_perfect_reconstruction(self, wavelet, rng):
+        x = rng.standard_normal(256)
+        coeffs = dwt(x, wavelet=wavelet, level=3)
+        np.testing.assert_allclose(idwt(coeffs, wavelet=wavelet), x, atol=1e-10)
+
+    def test_energy_conservation(self, rng):
+        x = rng.standard_normal(512)
+        coeffs = dwt(x, wavelet=3, level=4)
+        total = sum(np.sum(c**2) for c in coeffs)
+        assert total == pytest.approx(np.sum(x**2), rel=1e-10)
+
+    def test_coefficient_layout(self, rng):
+        x = rng.standard_normal(64)
+        coeffs = dwt(x, wavelet=2, level=3)
+        assert [c.size for c in coeffs] == [8, 8, 16, 32]
+
+    def test_constant_signal_all_energy_in_approx(self):
+        x = np.ones(64) * 5.0
+        coeffs = dwt(x, wavelet=2, level=2)
+        for detail in coeffs[1:]:
+            np.testing.assert_allclose(detail, 0.0, atol=1e-10)
+
+    def test_max_level_computation(self):
+        assert dwt_max_level(256, 4) >= 5
+        assert dwt_max_level(8, 4) == 1
+
+    def test_level_too_deep(self, rng):
+        with pytest.raises(ValidationError, match="too deep"):
+            dwt(rng.standard_normal(32), wavelet=2, level=10)
+
+    def test_default_level_is_max(self, rng):
+        x = rng.standard_normal(128)
+        coeffs = dwt(x, wavelet=1)
+        assert len(coeffs) == dwt_max_level(128, 2) + 1
+
+    def test_idwt_requires_two_components(self):
+        with pytest.raises(ValidationError):
+            idwt([np.zeros(4)], wavelet=2)
+
+
+class TestModwt:
+    def test_all_levels_full_length(self, rng):
+        x = rng.standard_normal(300)  # no power-of-two requirement
+        w = modwt(x, wavelet=2, level=4)
+        assert list(w) == [1, 2, 3, 4]
+        assert all(v.size == 300 for v in w.values())
+
+    def test_shift_invariance(self, rng):
+        # The MODWT of a circularly shifted signal is the shifted MODWT.
+        x = rng.standard_normal(128)
+        shift = 17
+        w0 = modwt(x, wavelet=2, level=3)
+        w1 = modwt(np.roll(x, shift), wavelet=2, level=3)
+        for j in w0:
+            np.testing.assert_allclose(np.roll(w0[j], shift), w1[j], atol=1e-10)
+
+    def test_detail_mean_near_zero(self, rng):
+        x = rng.standard_normal(512) + 100.0
+        w = modwt(x, wavelet=3, level=3)
+        for j, coeffs in w.items():
+            assert abs(np.mean(coeffs)) < 0.5
+
+    def test_level_too_deep(self, rng):
+        with pytest.raises(ValidationError):
+            modwt(rng.standard_normal(32), wavelet=4, level=6)
+
+
+class TestCwt:
+    def test_shape_and_dtype(self, rng):
+        x = rng.standard_normal(200)
+        out = cwt(x, [2.0, 4.0, 8.0])
+        assert out.shape == (3, 200)
+        assert out.dtype == float
+
+    def test_morlet_complex(self, rng):
+        out = cwt(rng.standard_normal(128), [4.0], wavelet="morlet")
+        assert np.iscomplexobj(out)
+
+    def test_zero_mean_signal_response(self):
+        # A pure sinusoid responds maximally at the matching scale.
+        t = np.arange(1024)
+        x = np.sin(2 * np.pi * t / 64.0)
+        scales = np.array([4.0, 64.0 / (2 * np.pi) * np.sqrt(2), 256.0])
+        power = np.mean(np.abs(cwt(x, scales)) ** 2, axis=1)
+        assert np.argmax(power) == 1
+
+    def test_constant_signal_zero_response(self):
+        out = cwt(np.full(128, 7.0), [4.0, 8.0])
+        np.testing.assert_allclose(out, 0.0, atol=1e-8)
+
+    def test_invalid_scales(self, rng):
+        with pytest.raises(ValidationError):
+            cwt(rng.standard_normal(64), [-1.0])
+
+    def test_invalid_wavelet(self, rng):
+        with pytest.raises(ValidationError):
+            cwt(rng.standard_normal(64), [2.0], wavelet="sinc")
+
+    def test_linear_trend_annihilated_by_dog2(self):
+        # DOG-2 has two vanishing moments: a line produces ~zero response
+        # away from the (reflected) boundaries.
+        x = np.linspace(0, 100, 512)
+        out = cwt(x, [4.0])
+        interior = out[0][64:-64]
+        assert np.max(np.abs(interior)) < 1e-6 * np.max(np.abs(x))
