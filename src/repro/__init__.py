@@ -27,6 +27,13 @@ The library has three layers:
 * :mod:`repro.baselines` — trend-extrapolation exhaustion prediction
   (Vaidyanathan–Trivedi) and the naive raw-counter threshold.
 
+**Observability**:
+
+* :mod:`repro.obs` — structured logging, metrics registry, stage-span
+  tracing and per-run manifest artifacts for the simulator and the
+  analysis pipeline (disabled by default; the CLI's ``--log-level`` and
+  ``--telemetry-out`` flags switch it on).
+
 Sixty-second tour::
 
     from repro.memsim import Machine, MachineConfig
@@ -57,8 +64,9 @@ from .core import (
     DetectorConfig,
 )
 from .memsim import Machine, MachineConfig, run_fleet
+from . import obs
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -78,5 +86,6 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "run_fleet",
+    "obs",
     "__version__",
 ]

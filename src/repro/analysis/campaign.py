@@ -20,7 +20,11 @@ from ..core import analyze_counter
 from ..core.detectors import DetectorConfig
 from ..exceptions import ValidationError
 from ..memsim.scenarios import SCENARIO_NAMES, build_scenario
+from ..obs import get_logger
+from ..obs import session as _obs
 from ..stats.roc import DetectionOutcome, score_detections
+
+_log = get_logger("analysis.campaign")
 
 
 @dataclass(frozen=True)
@@ -117,22 +121,26 @@ class CellResult:
 
 def run_cell(spec: ExperimentSpec) -> CellResult:
     """Execute one cell: fleet, analysis, aggregation."""
+    _log.info("cell starting", cell=spec.name, scenario=spec.scenario,
+              profile=spec.profile, n_runs=spec.n_runs)
     records: List[RunRecord] = []
     for i in range(spec.n_runs):
         seed = spec.base_seed + i
-        machine = _build(spec, seed)
-        result = machine.run()
+        with _obs.span("cell-run", cell=spec.name, run_index=i, seed=seed):
+            machine = _build(spec, seed)
+            result = machine.run()
 
-        alarm_time: Optional[float] = None
-        try:
-            analysis = analyze_counter(
-                result.bundle[spec.counter],
-                indicator=spec.indicator,
-                detector_config=spec.detector,
-            )
-            alarm_time = analysis.alarm.alarm_time
-        except Exception:
-            alarm_time = None  # too-short run or degenerate counter
+            alarm_time: Optional[float] = None
+            try:
+                analysis = analyze_counter(
+                    result.bundle[spec.counter],
+                    indicator=spec.indicator,
+                    detector_config=spec.detector,
+                )
+                alarm_time = analysis.alarm.alarm_time
+            except Exception:
+                alarm_time = None  # too-short run or degenerate counter
+                _obs.counter("campaign.analysis_failures").inc()
 
         lead = None
         if alarm_time is not None and result.crash_time is not None:
@@ -146,6 +154,11 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
             lead_time=lead,
             duration=result.duration,
         ))
+        _obs.counter("campaign.runs_completed").inc()
+        _log.info("run finished", cell=spec.name, run=f"{i + 1}/{spec.n_runs}",
+                  seed=seed, crashed=result.crashed,
+                  alarm_time=alarm_time if alarm_time is not None else "none",
+                  lead_time=lead if lead is not None else "none")
 
     crashed = [r for r in records if r.crashed]
     if crashed:
@@ -159,6 +172,9 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
     false_alarms = sum(
         1 for r in records if not r.crashed and r.alarm_time is not None
     )
+    _log.info("cell finished", cell=spec.name,
+              crashed=sum(1 for r in records if r.crashed),
+              false_alarms=false_alarms)
     return CellResult(spec=spec, runs=records, outcome=outcome,
                       false_alarms=false_alarms)
 
@@ -170,7 +186,13 @@ def run_campaign(specs: List[ExperimentSpec]) -> Dict[str, CellResult]:
     names = [s.name for s in specs]
     if len(set(names)) != len(names):
         raise ValidationError(f"duplicate spec names in campaign: {names}")
-    return {spec.name: run_cell(spec) for spec in specs}
+    results: Dict[str, CellResult] = {}
+    for k, spec in enumerate(specs):
+        _log.info("campaign progress", cell=spec.name,
+                  position=f"{k + 1}/{len(specs)}")
+        with _obs.span("campaign-cell", cell=spec.name):
+            results[spec.name] = run_cell(spec)
+    return results
 
 
 def _build(spec: ExperimentSpec, seed: int):

@@ -27,6 +27,16 @@ Four subcommands covering the library's main workflows:
     named scenario and print/persist the aggregate table::
 
         python -m repro campaign --scenario webserver --runs 3 --out results.json
+
+``telemetry``
+    Summarise run manifests written with ``--telemetry-out`` (stage
+    durations, events, metrics)::
+
+        python -m repro telemetry runs/seed7
+
+Every workload subcommand additionally accepts ``--log-level
+{debug,info,warning,error,off}`` (structured log lines on stderr) and
+``--telemetry-out DIR`` (write a run manifest + event log into DIR).
 """
 
 from __future__ import annotations
@@ -37,63 +47,113 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from .obs import LOG_LEVELS
+
+_SIM_PROFILES = ("nt4", "w2k")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from .memsim.scenarios import SCENARIO_NAMES
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Software aging and multifractality of memory resources "
                     "(DSN 2003 reproduction).",
     )
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--log-level", choices=LOG_LEVELS, default=None,
+                        help="emit structured log lines at this level")
+    common.add_argument("--telemetry-out", default=None, metavar="DIR",
+                        help="write a run manifest (manifest.json + "
+                             "events.jsonl) into DIR")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sim = sub.add_parser("simulate", help="run a stress-to-crash simulation")
-    sim.add_argument("--profile", choices=("nt4", "w2k"), default="nt4")
+    sim = sub.add_parser("simulate", parents=[common],
+                         help="run a stress-to-crash simulation")
+    sim.add_argument("--profile", choices=_SIM_PROFILES + SCENARIO_NAMES,
+                     default="nt4",
+                     help="OS profile (nt4/w2k) or named scenario "
+                          "(stress/webserver/database/batch on nt4)")
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--max-seconds", type=float, default=80_000.0)
     sim.add_argument("--fault-factor", type=float, default=1.0,
                      help="scale every aging-fault intensity")
-    sim.add_argument("--out", required=True, help="output CSV path")
+    sim.add_argument("--out", default=None, help="output CSV path "
+                     "(optional when --telemetry-out is given)")
 
-    ana = sub.add_parser("analyze", help="aging analysis of a trace CSV")
+    ana = sub.add_parser("analyze", parents=[common],
+                         help="aging analysis of a trace CSV")
     ana.add_argument("trace", help="CSV produced by `repro simulate`")
     ana.add_argument("--counter", default="AvailableBytes")
     ana.add_argument("--indicator", choices=("mean", "variance"), default="mean")
     ana.add_argument("--scheme", choices=("cusum", "ewma", "threshold"),
                      default="cusum")
 
-    sub.add_parser("validate", help="estimator self-check on ground truth")
+    sub.add_parser("validate", parents=[common],
+                   help="estimator self-check on ground truth")
 
-    camp = sub.add_parser("campaign",
+    camp = sub.add_parser("campaign", parents=[common],
                           help="aging + healthy-control detection campaign")
     camp.add_argument("--scenario", default="stress")
-    camp.add_argument("--profile", choices=("nt4", "w2k"), default="nt4")
+    camp.add_argument("--profile", choices=_SIM_PROFILES, default="nt4")
     camp.add_argument("--runs", type=int, default=3)
     camp.add_argument("--base-seed", type=int, default=1)
     camp.add_argument("--max-seconds", type=float, default=60_000.0)
     camp.add_argument("--out", default=None, help="optional JSON output path")
+
+    tel = sub.add_parser("telemetry", parents=[common],
+                         help="summarise run manifests")
+    tel.add_argument("path", help="manifest.json, a run directory, or a "
+                                  "directory of run directories")
+    tel.add_argument("--metrics", action="store_true",
+                     help="also print each run's full metrics snapshot")
     return parser
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one machine and archive its traces."""
     from .memsim import Machine, MachineConfig
+    from .obs import session as obs_session
     from .trace import write_csv
 
-    ctor = MachineConfig.nt4 if args.profile == "nt4" else MachineConfig.w2k
-    base = ctor(seed=args.seed, max_run_seconds=args.max_seconds)
-    if args.fault_factor != 1.0:
-        base = ctor(seed=args.seed, max_run_seconds=args.max_seconds,
-                    faults=base.faults.scaled(args.fault_factor))
+    if args.out is None and args.telemetry_out is None:
+        print("error: simulate needs --out and/or --telemetry-out",
+              file=sys.stderr)
+        return 2
+    if args.profile in _SIM_PROFILES:
+        ctor = MachineConfig.nt4 if args.profile == "nt4" else MachineConfig.w2k
+        base = ctor(seed=args.seed, max_run_seconds=args.max_seconds)
+        if args.fault_factor != 1.0:
+            base = ctor(seed=args.seed, max_run_seconds=args.max_seconds,
+                        faults=base.faults.scaled(args.fault_factor))
+        machine = Machine(base)
+    else:
+        from .memsim.scenarios import build_scenario
+
+        machine = build_scenario(
+            args.profile, seed=args.seed, max_run_seconds=args.max_seconds,
+            fault_factor=args.fault_factor,
+        )
     print(f"simulating {args.profile} seed={args.seed} "
           f"(budget {args.max_seconds:.0f}s)...")
-    result = Machine(base).run()
-    write_csv(result.bundle, args.out)
+    result = machine.run()
+    if args.out is not None:
+        with obs_session.span("write-csv", path=str(args.out)):
+            write_csv(result.bundle, args.out)
+    dest = args.out if args.out is not None else "(not archived)"
     if result.crashed:
         print(f"crashed at t={result.crash_time:.0f}s ({result.crash_reason}); "
-              f"traces -> {args.out}")
+              f"traces -> {dest}")
     else:
-        print(f"survived {result.duration:.0f}s; traces -> {args.out}")
+        print(f"survived {result.duration:.0f}s; traces -> {dest}")
+    args._outcome.update(
+        crashed=result.crashed,
+        crash_time=result.crash_time,
+        crash_reason=result.crash_reason,
+        duration=result.duration,
+        trace_csv=None if args.out is None else str(args.out),
+    )
     return 0
 
 
@@ -127,6 +187,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(f"crash (truth): {float(crash_time):.0f}s")
         if alarm.fired:
             print(f"lead time    : {float(crash_time) - alarm.alarm_time:.0f}s")
+    args._outcome.update(
+        counter=args.counter,
+        alarm_fired=alarm.fired,
+        alarm_time=alarm.alarm_time if alarm.fired else None,
+        crash_time=None if crash_time is None else float(crash_time),
+    )
     return 0
 
 
@@ -159,6 +225,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
     check("wavelet-leader c2 on fBm (monofractal)", res.c2, 0.0, 0.05)
 
     print("all checks passed" if failures == 0 else f"{failures} check(s) FAILED")
+    args._outcome.update(failures=failures)
     return 0 if failures == 0 else 1
 
 
@@ -191,19 +258,113 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.out:
         save_results(results, args.out)
         print(f"results -> {args.out}")
+    args._outcome.update(cells={
+        name: {
+            "runs": len(cell.runs),
+            "crashed": cell.n_crashed,
+            "false_alarms": cell.false_alarms,
+        }
+        for name, cell in results.items()
+    })
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Summarise one or many run manifests as report tables."""
+    from .exceptions import TraceError
+    from .obs import load_manifests
+    from .report import render_kv, render_table
+
+    try:
+        manifests = load_manifests(args.path)
+    except (TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = []
+    for i, m in enumerate(manifests):
+        n_alarms = len([e for e in m.events
+                        if e.get("kind") in ("alarm", "online_alarm")])
+        n_crashes = len([e for e in m.events if e.get("kind") == "crash"])
+        rows.append([
+            i, m.command, "-" if m.seed is None else m.seed,
+            float("nan") if m.wall_seconds is None else m.wall_seconds,
+            len(m.spans), len(m.metrics), len(m.events),
+            n_alarms, n_crashes,
+        ])
+    print(render_table(
+        ["run", "command", "seed", "wall_s", "spans", "metrics", "events",
+         "alarms", "crashes"],
+        rows, title=f"Telemetry summary ({len(manifests)} run(s))",
+    ))
+
+    for i, m in enumerate(manifests):
+        stages = m.stage_durations()
+        if stages:
+            print()
+            print(render_table(
+                ["stage", "seconds"],
+                [[path, seconds] for path, seconds in stages.items()],
+                title=f"run {i} ({m.command}): stage durations",
+            ))
+        if args.metrics and m.metrics:
+            flat = {}
+            for name, snap in m.metrics.items():
+                for key, value in snap.items():
+                    if key != "type" and value is not None:
+                        flat[f"{name}.{key}"] = value
+            print()
+            print(render_kv(flat, title=f"run {i} ({m.command}): metrics"))
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Besides dispatching, this is where the telemetry envelope lives:
+    ``--log-level`` configures the structured logger, ``--telemetry-out``
+    opens a fresh telemetry session around the command and freezes it
+    into a run manifest afterwards (even when the command fails — a
+    misbehaving run is exactly the one worth inspecting).
+    """
+    from . import obs
+
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": cmd_simulate,
         "analyze": cmd_analyze,
         "validate": cmd_validate,
         "campaign": cmd_campaign,
+        "telemetry": cmd_telemetry,
     }
-    return handlers[args.command](args)
+    args._outcome = {}
+    if getattr(args, "log_level", None):
+        obs.configure_logging(args.log_level)
+    telemetry_out = getattr(args, "telemetry_out", None)
+    session = obs.enable_telemetry() if telemetry_out else None
+    code: Optional[int] = None
+    try:
+        with obs.span(args.command):
+            code = handlers[args.command](args)
+        return code
+    finally:
+        if session is not None:
+            args._outcome["exit_code"] = code
+            seed = getattr(args, "seed", getattr(args, "base_seed", None))
+            config = {
+                k: v for k, v in vars(args).items()
+                if not k.startswith("_") and k not in ("command", "telemetry_out")
+                and v is not None
+            }
+            manifest = obs.build_manifest(
+                session, command=args.command, config=config, seed=seed,
+                outcome=args._outcome,
+            )
+            path = obs.write_manifest(manifest, telemetry_out)
+            print(f"telemetry -> {path}")
+            obs.disable_telemetry()
+        if getattr(args, "log_level", None):
+            obs.reset_logging()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -86,11 +86,26 @@ def windowed_moments(
     if not np.all(np.isfinite(h)):
         raise AnalysisError("Hölder trajectory contains non-finite values")
 
-    # Prefix sums of powers 1..4.
-    p1 = np.concatenate([[0.0], np.cumsum(h)])
-    p2 = np.concatenate([[0.0], np.cumsum(h**2)])
-    p3 = np.concatenate([[0.0], np.cumsum(h**3)])
-    p4 = np.concatenate([[0.0], np.cumsum(h**4)])
+    # Prefix-sum raw moments are numerically fragile: a large common
+    # offset makes `m2 - m1**2` cancel catastrophically, and extreme
+    # magnitudes (|h| ~ 1e-100 or 1e+100) drive h**4 out of float range,
+    # turning the standardized moments into infinities.  Shift by the
+    # global mean and scale to |g| <= 1 first; the raw-moment algebra
+    # then runs on well-conditioned O(1) numbers and the window moments
+    # are recovered exactly (mean is shift-equivariant, variance
+    # scale-equivariant, skewness/kurtosis invariant).
+    shift = float(np.mean(h))
+    centered = h - shift
+    scale = float(np.max(np.abs(centered)))
+    if not np.isfinite(scale) or scale == 0.0:
+        scale = 1.0
+    g = centered / scale
+
+    # Prefix sums of powers 1..4 of the conditioned values.
+    p1 = np.concatenate([[0.0], np.cumsum(g)])
+    p2 = np.concatenate([[0.0], np.cumsum(g**2)])
+    p3 = np.concatenate([[0.0], np.cumsum(g**3)])
+    p4 = np.concatenate([[0.0], np.cumsum(g**4)])
 
     ends = np.arange(window, n + 1, step)  # exclusive end indices
     starts = ends - window
@@ -100,13 +115,26 @@ def windowed_moments(
     m3 = (p3[ends] - p3[starts]) / w
     m4 = (p4[ends] - p4[starts]) / w
 
-    var = np.maximum(m2 - m1**2, 0.0)
-    # Central moments from raw moments.
+    var_g = np.maximum(m2 - m1**2, 0.0)
+    # Central moments from raw moments (of the conditioned values).
     mu3 = m3 - 3 * m1 * m2 + 2 * m1**3
     mu4 = m4 - 4 * m1 * m3 + 6 * m1**2 * m2 - 3 * m1**4
-    with np.errstate(divide="ignore", invalid="ignore"):
-        skew = np.where(var > 0, mu3 / var**1.5, 0.0)
-        kurt = np.where(var > 0, mu4 / var**2 - 3.0, 0.0)
+    denom_skew = var_g**1.5
+    denom_kurt = var_g**2
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        skew = np.divide(mu3, denom_skew,
+                         out=np.zeros_like(mu3), where=denom_skew > 0)
+        kurt = np.divide(mu4, denom_kurt,
+                         out=np.full_like(mu4, 3.0), where=denom_kurt > 0) - 3.0
+    # Near-degenerate windows can still push the standardized ratios
+    # past their mathematical bounds (|g1| <= sqrt(w), g2 <= w) through
+    # rounding in the tiny denominators; clamp to those bounds so the
+    # indicator series is always finite.
+    skew = np.clip(np.nan_to_num(skew, nan=0.0), -np.sqrt(w), np.sqrt(w))
+    kurt = np.clip(np.nan_to_num(kurt, nan=0.0), -3.0, w)
+
+    mean = shift + scale * m1
+    var = scale**2 * var_g
 
     times = trajectory.times[ends - 1]
     base = trajectory.source_name
@@ -115,7 +143,7 @@ def windowed_moments(
         return TimeSeries(times=times, values=vals, name=f"{base}.h_{stat}", units="")
 
     return {
-        "mean": mk(m1, "mean"),
+        "mean": mk(mean, "mean"),
         "variance": mk(var, "variance"),
         "skewness": mk(skew, "skewness"),
         "kurtosis": mk(kurt, "kurtosis"),

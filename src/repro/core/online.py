@@ -27,8 +27,12 @@ import numpy as np
 
 from .._validation import check_choice, check_positive_int
 from ..exceptions import AnalysisError
+from ..obs import get_logger
+from ..obs import session as _obs
 from ..stats.changepoint import CusumDetector
 from .holder import wavelet_holder
+
+_log = get_logger("core.online")
 
 
 @dataclass
@@ -143,10 +147,14 @@ class OnlineAgingMonitor:
             else float(np.var(recent))
         self._indicator_points.append(point)
         self._indicator_times.append(self._times[-1])
+        _obs.counter("online.indicator_points").inc()
 
         usable = len(self._indicator_points) - self.n_warmup
         if usable == self.n_calibration and self._detectors is None:
             self._calibrate()
+            _log.debug("online monitor calibrated",
+                       baseline_mean=self._baseline_mean,
+                       sim_time=self._indicator_times[-1])
             return
         if self._detectors is None or self.alarmed:
             return
@@ -155,6 +163,12 @@ class OnlineAgingMonitor:
             monitored = self._baseline_mean + signed * (point - self._baseline_mean)
             if detector.update(monitored):
                 self._alarm_time = self._indicator_times[-1]
+                _log.info("online alarm", sim_time=self._alarm_time,
+                          indicator=self.indicator, point=point,
+                          baseline_mean=self._baseline_mean)
+                _obs.counter("online.alarms").inc()
+                _obs.record_event("online_alarm", sim_time=self._alarm_time,
+                                  indicator=self.indicator, point=point)
                 return
 
     def _calibrate(self) -> None:

@@ -20,11 +20,15 @@ import numpy as np
 
 from .._validation import check_positive_int
 from ..exceptions import AnalysisError
+from ..obs import get_logger
+from ..obs import session as _obs
 from ..trace.series import TimeSeries, TraceBundle
 from ..trace.preprocess import fill_gaps, resample_uniform
 from .holder import HolderTrajectory, holder_trajectory
 from .indicators import IndicatorSeries, holder_mean_series, holder_variance_series
 from .detectors import AgingAlarm, DetectorConfig, HolderVarianceDetector
+
+_log = get_logger("core.pipeline")
 
 
 @dataclass(frozen=True)
@@ -117,24 +121,49 @@ def analyze_counter(
     check_choice(indicator, name="indicator", choices=("mean", "variance"))
     check_positive_int(indicator_window, name="indicator_window", minimum=8)
     check_positive_int(indicator_step, name="indicator_step")
-    clean = ts
-    if clean.has_gaps:
-        clean = fill_gaps(clean)
-    if not clean.is_uniform:
-        clean = resample_uniform(clean)
-    if len(clean) < 4 * indicator_window:
-        raise AnalysisError(
-            f"counter {ts.name!r} has {len(clean)} usable samples; "
-            f"need >= {4 * indicator_window} for window {indicator_window}"
-        )
+    with _obs.span("analyze-counter", counter=ts.name, indicator=indicator):
+        with _obs.span("preprocess", counter=ts.name):
+            clean = ts
+            if clean.has_gaps:
+                clean = fill_gaps(clean)
+            if not clean.is_uniform:
+                clean = resample_uniform(clean)
+        if len(clean) < 4 * indicator_window:
+            raise AnalysisError(
+                f"counter {ts.name!r} has {len(clean)} usable samples; "
+                f"need >= {4 * indicator_window} for window {indicator_window}"
+            )
 
-    trajectory = holder_trajectory(clean, method=holder_method, **(holder_kwargs or {}))
-    make_series = holder_mean_series if indicator == "mean" else holder_variance_series
-    indicator_series = make_series(
-        trajectory, window=indicator_window, step=indicator_step
-    )
-    detector = HolderVarianceDetector(config=detector_config or DetectorConfig())
-    alarm = detector.run(indicator_series)
+        with _obs.span("holder", counter=ts.name, method=holder_method):
+            trajectory = holder_trajectory(
+                clean, method=holder_method, **(holder_kwargs or {}))
+        with _obs.span("indicator", counter=ts.name, statistic=indicator):
+            make_series = (holder_mean_series if indicator == "mean"
+                           else holder_variance_series)
+            indicator_series = make_series(
+                trajectory, window=indicator_window, step=indicator_step
+            )
+        with _obs.span("detector", counter=ts.name):
+            detector = HolderVarianceDetector(
+                config=detector_config or DetectorConfig())
+            alarm = detector.run(indicator_series)
+
+    if _obs.telemetry_enabled():
+        _obs.counter("analysis.counters_analyzed").inc()
+        _obs.counter("analysis.samples_processed").inc(len(clean))
+        _obs.counter("analysis.indicator_windows").inc(
+            len(indicator_series.series))
+        if alarm.fired:
+            _obs.counter("analysis.alarms_fired").inc()
+            _obs.record_event("alarm", counter=ts.name,
+                              sim_time=alarm.alarm_time, scheme=alarm.scheme,
+                              statistic=indicator_series.statistic)
+    if alarm.fired:
+        _log.info("alarm fired", counter=ts.name, sim_time=alarm.alarm_time,
+                  scheme=alarm.scheme)
+    else:
+        _log.debug("no alarm", counter=ts.name,
+                   samples=len(clean), windows=len(indicator_series.series))
     return AgingAnalysis(
         counter=clean, trajectory=trajectory, indicator=indicator_series, alarm=alarm,
     )

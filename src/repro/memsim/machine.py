@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..exceptions import SimulationError
+from ..obs import get_logger
+from ..obs import session as _obs
 from ..simkernel import RngRegistry, Simulator
 from ..trace.series import TraceBundle
 from .config import MachineConfig
@@ -30,6 +32,8 @@ from .faults import CompositeListener, FragmentationFault, LeakProcess
 from .memory import MemoryManager
 from .sampler import CounterSampler
 from .workloads import OnOffSource, SessionWorkload
+
+_log = get_logger("memsim.machine")
 
 
 @dataclass(frozen=True)
@@ -127,9 +131,17 @@ class Machine:
         self._crash_reason = reason
         self._crash_handle = self.sim.schedule_in(
             self.crash_grace, self._crash, priority=-10, label="machine.crash")
+        _log.warning("first allocation failure", sim_time=self.sim.now,
+                     reason=reason, grace_seconds=self.crash_grace)
+        _obs.record_event("alloc_failure_onset", sim_time=self.sim.now,
+                          reason=reason)
 
     def _crash(self) -> None:
         self._crash_time = self.sim.now
+        _log.warning("machine crashed", sim_time=self.sim.now,
+                     reason=self._crash_reason or "unknown")
+        _obs.record_event("crash", sim_time=self.sim.now,
+                          reason=self._crash_reason or "unknown")
         self.sim.stop()
 
     def note_failure(self, reason: str) -> None:
@@ -154,42 +166,87 @@ class Machine:
         self._first_failure_time = None
         self._crash_reason = None
         self.rejuvenation_times.append(self.sim.now)
+        _log.info("rejuvenated", sim_time=self.sim.now,
+                  n_rejuvenations=len(self.rejuvenation_times))
+        _obs.record_event("rejuvenation", sim_time=self.sim.now)
+        _obs.counter("memsim.rejuvenations").inc()
+
+    # -- telemetry ----------------------------------------------------------------
+
+    def _publish_metrics(self) -> None:
+        """Fold the run's memory/paging activity into the metrics registry.
+
+        Counters are cumulative across a fleet (each run adds its
+        totals); gauges carry the last run's end state.  Everything is
+        read from the manager's own accounting, so this is one cheap
+        pass at run end rather than per-allocation overhead.
+        """
+        if not _obs.telemetry_enabled():
+            return
+        mem = self.memory
+        _obs.counter("memsim.allocated_pages").inc(mem.cum_allocated_pages)
+        _obs.counter("memsim.freed_pages").inc(mem.cum_freed_pages)
+        _obs.counter("memsim.page_faults").inc(mem.cum_page_faults)
+        _obs.counter("memsim.pages_out").inc(mem.cum_pages_out)
+        _obs.counter("memsim.pages_in").inc(mem.cum_pages_in)
+        _obs.counter("memsim.alloc_failures").inc(mem.cum_alloc_failures)
+        _obs.counter("memsim.samples_collected").inc(self.sampler.n_samples())
+        _obs.gauge("memsim.leaked_pinned_pages").set(mem.pinned_pages)
+        _obs.gauge("memsim.resident_pages").set(mem.resident_pages)
+        _obs.gauge("memsim.pagefile_pages").set(mem.pagefile_pages)
+        _obs.gauge("memsim.available_bytes").set(mem.available_bytes)
+        _obs.histogram("memsim.run_sim_seconds").observe(self.sim.now)
 
     # -- driving ------------------------------------------------------------------
 
     def run(self) -> RunResult:
         """Run the stress experiment to crash or time budget."""
-        if self._preload_pages > 0:
-            result = self.memory.allocate(self._preload_pages)
-            if not result.ok:
-                raise SimulationError(
-                    "preload exceeds memory; workload steady state does not fit "
-                    "this machine configuration"
-                )
-            chunk = self._preload_pages // self._preload_chunks
-            remainder = self._preload_pages - chunk * self._preload_chunks
-            for i in range(self._preload_chunks):
-                pages = chunk + (remainder if i == self._preload_chunks - 1 else 0)
-                if pages <= 0:
-                    continue
-                when = (i + 1) * self._preload_release_span / self._preload_chunks
-                epoch = self.memory.epoch
-                self.sim.schedule(
-                    when,
-                    lambda p=pages, e=epoch: (
-                        self.memory.free(p) if self.memory.epoch == e else None),
-                    label="machine.preload_release")
-        for source in self.sources:
-            source.ensure_started()
-        self.sessions.ensure_started()
-        self.leak.ensure_started()
-        self.sampler.ensure_started()
+        _log.info("run starting", profile=self.config.os_profile,
+                  seed=self.config.seed,
+                  budget_seconds=self.config.max_run_seconds)
+        with _obs.span("machine-setup", profile=self.config.os_profile,
+                       seed=self.config.seed):
+            if self._preload_pages > 0:
+                result = self.memory.allocate(self._preload_pages)
+                if not result.ok:
+                    raise SimulationError(
+                        "preload exceeds memory; workload steady state does not fit "
+                        "this machine configuration"
+                    )
+                chunk = self._preload_pages // self._preload_chunks
+                remainder = self._preload_pages - chunk * self._preload_chunks
+                for i in range(self._preload_chunks):
+                    pages = chunk + (remainder if i == self._preload_chunks - 1 else 0)
+                    if pages <= 0:
+                        continue
+                    when = (i + 1) * self._preload_release_span / self._preload_chunks
+                    epoch = self.memory.epoch
+                    self.sim.schedule(
+                        when,
+                        lambda p=pages, e=epoch: (
+                            self.memory.free(p) if self.memory.epoch == e else None),
+                        label="machine.preload_release")
+            for source in self.sources:
+                source.ensure_started()
+            self.sessions.ensure_started()
+            self.leak.ensure_started()
+            self.sampler.ensure_started()
 
-        self.sim.run_until(self.config.max_run_seconds)
+        with _obs.span("machine-run", profile=self.config.os_profile,
+                       seed=self.config.seed):
+            self.sim.run_until(self.config.max_run_seconds)
         self.memory.check_invariants()
 
         crashed = self._crash_time is not None
         duration = self.sim.now
+        self._publish_metrics()
+        if crashed:
+            _log.info("run finished: crashed", sim_time=self._crash_time,
+                      reason=self._crash_reason or "unknown",
+                      samples=self.sampler.n_samples())
+        else:
+            _log.info("run finished: survived", duration=duration,
+                      samples=self.sampler.n_samples())
         metadata: dict = {
             "os_profile": self.config.os_profile,
             "seed": float(self.config.seed),
@@ -201,7 +258,8 @@ class Machine:
             metadata["crash_time"] = float(self._crash_time)
             metadata["crash_reason"] = self._crash_reason or "unknown"
             metadata["first_failure_time"] = float(self._first_failure_time)
-        bundle = self.sampler.to_bundle(metadata)
+        with _obs.span("machine-collect", seed=self.config.seed):
+            bundle = self.sampler.to_bundle(metadata)
         return RunResult(
             bundle=bundle,
             crashed=crashed,

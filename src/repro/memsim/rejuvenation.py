@@ -24,8 +24,12 @@ from typing import Optional
 
 from .._validation import check_positive
 from ..core.online import OnlineAgingMonitor
+from ..obs import get_logger
+from ..obs import session as _obs
 from ..simkernel import PeriodicProcess, RngRegistry, Simulator
 from .machine import Machine
+
+_log = get_logger("memsim.rejuvenation")
 
 
 class PeriodicRejuvenator(PeriodicProcess):
@@ -41,6 +45,9 @@ class PeriodicRejuvenator(PeriodicProcess):
     def tick(self) -> None:
         self.machine.rejuvenate()
         self.restarts += 1
+        _log.info("periodic restart", sim_time=self.sim.now,
+                  restarts=self.restarts)
+        _obs.counter("rejuvenation.periodic_restarts").inc()
 
 
 class ThresholdRejuvenator(PeriodicProcess):
@@ -72,6 +79,9 @@ class ThresholdRejuvenator(PeriodicProcess):
             self.machine.rejuvenate()
             self.restarts += 1
             self._low_streak = 0
+            _log.info("threshold restart", sim_time=self.sim.now,
+                      floor_bytes=self.floor_bytes, restarts=self.restarts)
+            _obs.counter("rejuvenation.threshold_restarts").inc()
 
 
 class PredictiveRejuvenator(PeriodicProcess):
@@ -113,6 +123,13 @@ class PredictiveRejuvenator(PeriodicProcess):
             return
         if self.monitor.update_many(new_t, new_v):
             self.alarm_times.append(self.sim.now)
+            _log.info("predictive restart: online monitor alarmed",
+                      sim_time=self.sim.now,
+                      monitor_alarm_time=self.monitor.alarm_time,
+                      restarts=self.restarts + 1)
+            _obs.record_event("predictive_restart", sim_time=self.sim.now,
+                              monitor_alarm_time=self.monitor.alarm_time)
+            _obs.counter("rejuvenation.predictive_restarts").inc()
             self.machine.rejuvenate()
             self.restarts += 1
             self.monitor = self._monitor_factory()

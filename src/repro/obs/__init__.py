@@ -1,0 +1,102 @@
+"""repro.obs — run telemetry: structured logging, metrics, spans, manifests.
+
+The observability layer of the reproduction (subsystem S14 in
+DESIGN.md).  Four pieces, composable but independently usable:
+
+* :mod:`repro.obs.logger` — structured logging under the ``"repro"``
+  stdlib-logging root, with human and JSON-lines sinks
+  (:func:`configure_logging`, :func:`get_logger`).
+* :mod:`repro.obs.metrics` — a name-keyed registry of counters,
+  gauges, histograms and timers with near-zero cost when disabled.
+* :mod:`repro.obs.spans` — nestable ``span(...)`` context managers
+  that time pipeline stages and simulation phases.
+* :mod:`repro.obs.manifest` — per-run manifest artifacts
+  (``manifest.json`` + ``events.jsonl``) freezing config, seed,
+  versions, stage durations, a metrics snapshot and the event log.
+
+Library code is instrumented against the *current telemetry session*
+(:mod:`repro.obs.session`); the default session is disabled, so imports
+and instrumentation are free until a driver opts in::
+
+    from repro import obs
+
+    obs.configure_logging("info")
+    session = obs.enable_telemetry()
+    ...                                   # run simulator / pipeline
+    manifest = obs.build_manifest(session, command="simulate", seed=7)
+    obs.write_manifest(manifest, "runs/seed7")
+"""
+
+from .logger import (
+    LOG_LEVELS,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .spans import SpanCollector, SpanRecord
+from .session import (
+    TelemetrySession,
+    counter,
+    current_session,
+    disable_telemetry,
+    enable_telemetry,
+    gauge,
+    histogram,
+    record_event,
+    span,
+    telemetry_enabled,
+    telemetry_session,
+    timer,
+)
+from .manifest import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_manifest,
+    load_manifests,
+    read_manifest,
+    write_manifest,
+)
+
+__all__ = [
+    # logging
+    "LOG_LEVELS",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    # spans
+    "SpanCollector",
+    "SpanRecord",
+    # session
+    "TelemetrySession",
+    "current_session",
+    "enable_telemetry",
+    "disable_telemetry",
+    "telemetry_enabled",
+    "telemetry_session",
+    "counter",
+    "gauge",
+    "histogram",
+    "timer",
+    "span",
+    "record_event",
+    # manifests
+    "MANIFEST_SCHEMA",
+    "MANIFEST_FILENAME",
+    "EVENTS_FILENAME",
+    "RunManifest",
+    "build_manifest",
+    "read_manifest",
+    "write_manifest",
+    "load_manifests",
+]

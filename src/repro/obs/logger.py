@@ -1,0 +1,192 @@
+"""Structured logging on top of the stdlib ``logging`` machinery.
+
+Every library logger lives under the ``"repro"`` root, which ships with
+a :class:`logging.NullHandler` and ``propagate=False`` — an
+unconfigured library is silent and costs one ``isEnabledFor`` check per
+suppressed call.  :func:`configure_logging` attaches the real sinks:
+
+* a human-readable stream handler (``HH:MM:SS LEVEL name: msg k=v``),
+* optionally a JSON-lines file handler, one object per record, with the
+  structured fields promoted to top-level keys.
+
+Call sites use :func:`get_logger`, which returns a thin
+:class:`StructuredLogger` wrapper whose level methods take arbitrary
+keyword fields::
+
+    log = get_logger("memsim.machine")
+    log.info("crash", sim_time=51_230.0, reason="commit")
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "LOG_LEVELS",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "reset_logging",
+]
+
+_ROOT = "repro"
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "off")
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "off": logging.CRITICAL + 10,
+}
+
+
+def _root_logger() -> logging.Logger:
+    root = logging.getLogger(_ROOT)
+    if not root.handlers:
+        root.addHandler(logging.NullHandler())
+        root.propagate = False
+        root.setLevel(_LEVELS["warning"])
+    return root
+
+
+class _HumanFormatter(logging.Formatter):
+    """``HH:MM:SS LEVEL name: message key=value ...``"""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        base = (f"{stamp} {record.levelname.lower():<7} "
+                f"{record.name}: {record.getMessage()}")
+        fields = getattr(record, "fields", None)
+        if fields:
+            pairs = " ".join(f"{k}={_terse(v)}" for k, v in fields.items())
+            base = f"{base} | {pairs}"
+        return base
+
+
+def _terse(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record; structured fields become top-level keys."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": record.created,
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        return json.dumps(payload, default=str)
+
+
+class StructuredLogger:
+    """Level methods with keyword fields; wraps one stdlib logger."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def name(self) -> str:
+        """Dotted logger name (``repro.<suffix>``)."""
+        return self._logger.name
+
+    def _log(self, level: int, msg: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, msg, extra={"fields": fields})
+
+    def debug(self, msg: str, **fields) -> None:
+        """Log at DEBUG with structured ``fields``."""
+        self._log(logging.DEBUG, msg, fields)
+
+    def info(self, msg: str, **fields) -> None:
+        """Log at INFO with structured ``fields``."""
+        self._log(logging.INFO, msg, fields)
+
+    def warning(self, msg: str, **fields) -> None:
+        """Log at WARNING with structured ``fields``."""
+        self._log(logging.WARNING, msg, fields)
+
+    def error(self, msg: str, **fields) -> None:
+        """Log at ERROR with structured ``fields``."""
+        self._log(logging.ERROR, msg, fields)
+
+    def is_enabled_for(self, level_name: str) -> bool:
+        """Whether records at ``level_name`` would be emitted."""
+        if level_name not in _LEVELS:
+            raise ValidationError(
+                f"level must be one of {LOG_LEVELS!r}, got {level_name!r}"
+            )
+        return self._logger.isEnabledFor(_LEVELS[level_name])
+
+
+def get_logger(name: str = "") -> StructuredLogger:
+    """A structured logger under the library root.
+
+    ``get_logger("memsim.machine")`` → stdlib logger
+    ``repro.memsim.machine``; the empty string returns the root.
+    """
+    _root_logger()
+    full = f"{_ROOT}.{name}" if name else _ROOT
+    return StructuredLogger(logging.getLogger(full))
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    stream: Optional[IO[str]] = None,
+    json_path: Optional[str] = None,
+) -> None:
+    """Attach real sinks to the library root and set its level.
+
+    Parameters
+    ----------
+    level:
+        One of :data:`LOG_LEVELS`.  ``"off"`` silences everything while
+        keeping handlers in place (so a later reconfigure can re-open).
+    stream:
+        Destination of the human-readable handler (default
+        ``sys.stderr`` so log lines never pollute piped table output).
+    json_path:
+        When given, also append JSON-lines records to this file.
+    """
+    if level not in _LEVELS:
+        raise ValidationError(
+            f"level must be one of {LOG_LEVELS!r}, got {level!r}"
+        )
+    root = _root_logger()
+    reset_logging()
+    root.setLevel(_LEVELS[level])
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_HumanFormatter())
+    root.addHandler(handler)
+    if json_path is not None:
+        file_handler = logging.FileHandler(json_path)
+        file_handler.setFormatter(_JsonFormatter())
+        root.addHandler(file_handler)
+
+
+def reset_logging() -> None:
+    """Detach every configured sink, returning to the silent default."""
+    root = _root_logger()
+    for handler in list(root.handlers):
+        if not isinstance(handler, logging.NullHandler):
+            root.removeHandler(handler)
+            handler.close()
+    root.setLevel(_LEVELS["warning"])

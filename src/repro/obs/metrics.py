@@ -1,0 +1,258 @@
+"""Lightweight in-process metrics: counters, gauges, histograms, timers.
+
+A :class:`MetricsRegistry` is a name-keyed bag of instruments.  Call
+sites fetch an instrument once (``registry.counter("sim.events")``) and
+then update it in their hot path; updates are plain attribute writes, so
+the cost of an *enabled* instrument is tens of nanoseconds and the cost
+of a *disabled* one (the shared null instruments a disabled registry
+hands out) is a no-op method call.  Nothing is sampled, buffered or
+threaded — a snapshot is an explicit, synchronous read.
+
+Instrument semantics follow the usual conventions:
+
+* **Counter** — monotone accumulator (``inc``).
+* **Gauge** — last-write-wins level (``set``), with ``max`` tracking.
+* **Histogram** — streaming summary of observations (count / total /
+  min / max / mean); no reservoir, so memory is O(1) per instrument.
+* **Timer** — a histogram of wall-clock durations usable as a context
+  manager.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_TIMER",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValidationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict describing the current state."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins level, tracking the maximum it ever reached."""
+
+    __slots__ = ("name", "value", "max_value", "_written")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = float("-inf")
+        self._written = False
+
+    def set(self, value: float) -> None:
+        """Record the instantaneous level."""
+        value = float(value)
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+        self._written = True
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict describing the current state."""
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "max": self.max_value if self._written else None,
+        }
+
+
+class Histogram:
+    """Streaming summary (count/total/min/max/mean) of observations."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (NaN before the first one)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict describing the current state."""
+        empty = self.count == 0
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "min": None if empty else self.min,
+            "max": None if empty else self.max,
+            "mean": None if empty else self.mean,
+        }
+
+
+class Timer(Histogram):
+    """Histogram of wall-clock durations, usable as a context manager::
+
+        with registry.timer("analysis.holder"):
+            ...                     # observed in seconds on exit
+    """
+
+    __slots__ = ("_t0",)
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.observe(time.perf_counter() - self._t0)
+        return False
+
+    def snapshot(self) -> dict:
+        out = super().snapshot()
+        out["type"] = "timer"
+        return out
+
+
+class _NullInstrument:
+    """Shared no-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def snapshot(self) -> dict:
+        return {"type": "null"}
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+NULL_TIMER = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Name-keyed instrument registry.
+
+    ``enabled=False`` turns the registry into a sink: every accessor
+    returns a shared null instrument and :meth:`snapshot` is empty, so
+    instrumented code pays only a dictionary-free no-op per update.
+    Instrument names are namespaced with dots by convention
+    (``"sim.events_fired"``); requesting an existing name with a
+    different instrument type is an error — silent type morphing would
+    corrupt dashboards.
+    """
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, null):
+        if not self.enabled:
+            return null
+        if not name:
+            raise ValidationError("metric name must be non-empty")
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif type(inst) is not cls:
+            raise ValidationError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter, NULL_COUNTER)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge, NULL_GAUGE)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(name, Histogram, NULL_HISTOGRAM)
+
+    def timer(self, name: str) -> Timer:
+        """Get or create the timer ``name``."""
+        return self._get(name, Timer, NULL_TIMER)
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument registered under ``name``, or None."""
+        return self._instruments.get(name)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-able state of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (new run, fresh numbers)."""
+        self._instruments.clear()

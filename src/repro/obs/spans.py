@@ -1,0 +1,189 @@
+"""Nestable stage-tracing spans.
+
+A *span* times one named stage of work (a pipeline step, a simulation
+phase, a campaign cell).  Spans nest: entering a span while another is
+open records the parent path, so the collected records reconstruct the
+stage tree of a run::
+
+    with collector.span("analyze"):
+        with collector.span("holder", counter="AvailableBytes"):
+            ...
+
+produces records with paths ``analyze`` and ``analyze/holder``.  Each
+record carries wall-clock start/end (``time.perf_counter`` based, so
+durations are monotonic), depth, outcome (``"ok"`` or ``"error"``) and
+free-form attributes.
+
+The collector is deliberately single-threaded (the whole library is);
+a disabled collector hands out a shared no-op context manager so traced
+code costs ~a function call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import ValidationError
+
+__all__ = ["SpanRecord", "SpanCollector", "NULL_SPAN"]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or still-open) stage timing.
+
+    ``start``/``end`` are ``perf_counter`` readings relative to the
+    collector's epoch, so they order and subtract correctly within a
+    run but are not wall-clock datetimes.
+    """
+
+    name: str
+    path: str
+    depth: int
+    start: float
+    end: Optional[float] = None
+    status: str = "open"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Seconds from entry to exit; None while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-able form used by manifests."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _ActiveSpan:
+    """Context manager produced by :meth:`SpanCollector.span`."""
+
+    __slots__ = ("_collector", "_record")
+
+    def __init__(self, collector: "SpanCollector", record: SpanRecord) -> None:
+        self._collector = collector
+        self._record = record
+
+    def annotate(self, **attrs) -> None:
+        """Attach extra attributes to the span while it is open."""
+        self._record.attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._collector._push(self._record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._collector._pop(self._record, ok=exc_type is None)
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span for disabled tracing."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanCollector:
+    """Records a run's stage tree as a flat list of :class:`SpanRecord`."""
+
+    def __init__(self, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self._stack: List[SpanRecord] = []
+        self._records: List[SpanRecord] = []
+
+    def span(self, name: str, **attrs):
+        """Open a nested span named ``name`` (use as a context manager)."""
+        if not self.enabled:
+            return NULL_SPAN
+        if not name:
+            raise ValidationError("span name must be non-empty")
+        if "/" in name:
+            raise ValidationError(
+                f"span name cannot contain '/' (got {name!r}); "
+                "nesting builds the path"
+            )
+        parent = self._stack[-1].path if self._stack else ""
+        record = SpanRecord(
+            name=name,
+            path=f"{parent}/{name}" if parent else name,
+            depth=len(self._stack),
+            start=time.perf_counter() - self.epoch,
+            attrs=dict(attrs),
+        )
+        return _ActiveSpan(self, record)
+
+    # -- internals (driven by _ActiveSpan) ------------------------------------
+
+    def _push(self, record: SpanRecord) -> None:
+        self._stack.append(record)
+        self._records.append(record)
+
+    def _pop(self, record: SpanRecord, *, ok: bool) -> None:
+        if not self._stack or self._stack[-1] is not record:
+            raise ValidationError(
+                f"span {record.path!r} exited out of order; "
+                "spans must strictly nest"
+            )
+        self._stack.pop()
+        record.end = time.perf_counter() - self.epoch
+        record.status = "ok" if ok else "error"
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def records(self) -> List[SpanRecord]:
+        """Every span opened so far, in entry order."""
+        return list(self._records)
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def completed(self) -> List[SpanRecord]:
+        """Only the spans that have exited."""
+        return [r for r in self._records if r.end is not None]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every completed span called ``name``."""
+        return sum(
+            r.duration for r in self._records
+            if r.name == name and r.end is not None
+        )
+
+    def to_list(self) -> List[dict]:
+        """JSON-able records, entry order (manifest payload)."""
+        return [r.to_dict() for r in self._records]
+
+    def reset(self) -> None:
+        """Drop all records and restart the epoch."""
+        if self._stack:
+            raise ValidationError("cannot reset collector with open spans")
+        self._records.clear()
+        self.epoch = time.perf_counter()

@@ -21,6 +21,7 @@ from typing import Callable, List, Optional
 
 from .._validation import check_finite
 from ..exceptions import SimulationError
+from ..obs import session as _obs
 
 EventCallback = Callable[[], None]
 
@@ -162,6 +163,12 @@ class Simulator:
             self._now = t_end
         finally:
             self._running = False
+            if _obs.telemetry_enabled():
+                # Whole-run aggregates only: per-event instrumentation in
+                # this loop would dominate the loop body itself.
+                _obs.counter("sim.events_fired").inc(fired_this_run)
+                _obs.gauge("sim.queue_depth").set(len(self._heap))
+                _obs.gauge("sim.clock_seconds").set(self._now)
 
     def run_next(self) -> bool:
         """Fire exactly the next pending event.  Returns False when empty."""

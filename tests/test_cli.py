@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
 from repro.memsim import Machine, MachineConfig
 from repro.trace import write_csv
@@ -37,6 +40,28 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
+
+    def test_telemetry_flags_on_every_workload_command(self):
+        for base in (["simulate", "--out", "x.csv"],
+                     ["analyze", "t.csv"],
+                     ["validate"],
+                     ["campaign"]):
+            args = build_parser().parse_args(
+                base + ["--log-level", "debug", "--telemetry-out", "runs/d"])
+            assert args.log_level == "debug"
+            assert args.telemetry_out == "runs/d"
+
+    def test_simulate_accepts_scenario_profiles(self):
+        args = build_parser().parse_args(
+            ["simulate", "--profile", "stress", "--telemetry-out", "d"])
+        assert args.profile == "stress"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--profile", "bogus"])
+
+    def test_telemetry_args(self):
+        args = build_parser().parse_args(["telemetry", "runs/", "--metrics"])
+        assert args.path == "runs/"
+        assert args.metrics
 
 
 class TestCommands:
@@ -93,3 +118,71 @@ class TestCommands:
         args = build_parser().parse_args(["campaign"])
         assert args.scenario == "stress"
         assert args.runs == 3
+
+
+class TestTelemetryCli:
+    """The observability surface: --log-level, --telemetry-out, telemetry."""
+
+    @pytest.fixture
+    def run_dir(self, tmp_path):
+        """A telemetry-instrumented short simulate run."""
+        out = tmp_path / "run"
+        code = main(["simulate", "--seed", "5", "--max-seconds", "3000",
+                     "--telemetry-out", str(out)])
+        assert code == 0
+        return out
+
+    def test_simulate_needs_out_or_telemetry(self, capsys):
+        code = main(["simulate", "--seed", "1"])
+        assert code == 2
+        assert "telemetry-out" in capsys.readouterr().err
+
+    def test_simulate_writes_manifest_with_spans_and_metrics(self, run_dir):
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["schema"] == obs.MANIFEST_SCHEMA
+        assert manifest["command"] == "simulate"
+        assert manifest["seed"] == 5
+        named = {s["name"] for s in manifest["spans"]}
+        assert len(named) >= 3
+        assert {"machine-setup", "machine-run", "machine-collect"} <= named
+        assert all(s["duration"] is not None for s in manifest["spans"])
+        assert manifest["metrics"]["sim.events_fired"]["value"] > 0
+        assert manifest["outcome"]["exit_code"] == 0
+        assert (run_dir / "events.jsonl").exists()
+
+    def test_telemetry_session_closed_after_main(self, run_dir):
+        assert not obs.telemetry_enabled()
+
+    def test_telemetry_subcommand_renders_summary(self, run_dir, capsys):
+        code = main(["telemetry", str(run_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Telemetry summary" in out
+        assert "simulate" in out
+        assert "stage durations" in out
+
+    def test_telemetry_subcommand_metrics_flag(self, run_dir, capsys):
+        code = main(["telemetry", str(run_dir), "--metrics"])
+        assert code == 0
+        assert "sim.events_fired" in capsys.readouterr().out
+
+    def test_telemetry_subcommand_missing_path(self, tmp_path, capsys):
+        code = main(["telemetry", str(tmp_path / "nope")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_log_level_emits_structured_lines(self, tmp_path, capsys):
+        code = main(["simulate", "--seed", "5", "--max-seconds", "2000",
+                     "--out", str(tmp_path / "t.csv"), "--log-level", "info"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "repro.memsim.machine: run starting" in err
+        assert "seed=5" in err
+
+    def test_scenario_profile_simulate(self, tmp_path):
+        out = tmp_path / "scen"
+        code = main(["simulate", "--profile", "webserver", "--seed", "2",
+                     "--max-seconds", "2000", "--telemetry-out", str(out)])
+        assert code == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["config"]["profile"] == "webserver"
