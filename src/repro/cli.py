@@ -30,13 +30,26 @@ Four subcommands covering the library's main workflows:
 
 ``telemetry``
     Summarise run manifests written with ``--telemetry-out`` (stage
-    durations, events, metrics)::
+    durations, events, metrics) as tables, or export them as flat
+    JSON/CSV or Prometheus/OpenMetrics text::
 
         python -m repro telemetry runs/seed7
+        python -m repro telemetry runs/seed7 --format prom
+
+``bench``
+    Run the curated hot-path benchmark suite, write a versioned
+    ``BENCH_<date>_<gitsha>.json`` perf-trajectory file and compare it
+    against the latest baseline (regressions fail the run)::
+
+        python -m repro bench --quick --out benchmarks/results
 
 Every workload subcommand additionally accepts ``--log-level
-{debug,info,warning,error,off}`` (structured log lines on stderr) and
-``--telemetry-out DIR`` (write a run manifest + event log into DIR).
+{debug,info,warning,error,off}`` (structured log lines on stderr),
+``--telemetry-out DIR`` (write a run manifest + event log into DIR) and
+``--perf-profile`` (per-hot-path wall/CPU profile, recorded into the
+manifest or printed when no manifest is written).  A run that raises
+still writes its manifest, with ``outcome.status = "error"`` and the
+exception recorded.
 """
 
 from __future__ import annotations
@@ -67,6 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--telemetry-out", default=None, metavar="DIR",
                         help="write a run manifest (manifest.json + "
                              "events.jsonl) into DIR")
+    common.add_argument("--perf-profile", action="store_true",
+                        help="profile hot paths (wall/CPU per call); "
+                             "recorded into the manifest, or printed when "
+                             "no --telemetry-out is given")
+    common.add_argument("--perf-memory", action="store_true",
+                        help="also trace per-call peak allocation size "
+                             "(implies --perf-profile; slow)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", parents=[common],
@@ -103,11 +123,46 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--out", default=None, help="optional JSON output path")
 
     tel = sub.add_parser("telemetry", parents=[common],
-                         help="summarise run manifests")
+                         help="summarise or export run manifests")
     tel.add_argument("path", help="manifest.json, a run directory, or a "
                                   "directory of run directories")
     tel.add_argument("--metrics", action="store_true",
-                     help="also print each run's full metrics snapshot")
+                     help="also print each run's full metrics snapshot "
+                          "(table format only)")
+    tel.add_argument("--format", choices=("table", "json", "csv", "prom"),
+                     default="table",
+                     help="output format: report tables (default), flat "
+                          "JSON, flat CSV, or Prometheus/OpenMetrics text")
+
+    ben = sub.add_parser("bench", parents=[common],
+                         help="hot-path benchmark suite -> BENCH_*.json "
+                              "perf trajectory")
+    ben.add_argument("--quick", action="store_true",
+                     help="shrink workloads ~4-10x (CI smoke mode)")
+    ben.add_argument("--out", default="benchmarks/results", metavar="DIR",
+                     help="directory for BENCH_<date>_<gitsha>.json "
+                          "trajectory files (default: %(default)s)")
+    ben.add_argument("--baseline", default=None, metavar="PATH",
+                     help="BENCH file or directory to compare against "
+                          "(default: latest matching file in --out)")
+    ben.add_argument("--threshold", type=float, default=0.25,
+                     help="regression threshold as a fraction "
+                          "(default: %(default)s = 25%%)")
+    ben.add_argument("--repeats", type=int, default=None,
+                     help="timed iterations per case (default: 3 quick, "
+                          "5 full)")
+    ben.add_argument("--select", default=None, metavar="PAT[,PAT...]",
+                     help="only run cases whose name contains a pattern")
+    ben.add_argument("--no-memory", action="store_true",
+                     help="skip the tracemalloc memory-peak pass")
+    ben.add_argument("--no-normalize", action="store_true",
+                     help="compare raw wall times (skip calibration "
+                          "normalization)")
+    ben.add_argument("--no-compare", action="store_true",
+                     help="write the trajectory file without comparing "
+                          "against a baseline")
+    ben.add_argument("--list", action="store_true",
+                     help="list the benchmark suite and exit")
     return parser
 
 
@@ -270,9 +325,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
-    """Summarise one or many run manifests as report tables."""
+    """Summarise (table) or export (json/csv/prom) run manifests."""
+    import json as _json
+
     from .exceptions import TraceError
-    from .obs import load_manifests
+    from .obs import (
+        load_manifests,
+        manifests_to_csv,
+        manifests_to_json,
+        manifests_to_prometheus,
+    )
     from .report import render_kv, render_table
 
     try:
@@ -280,6 +342,18 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     except (TraceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    fmt = getattr(args, "format", "table")
+    if fmt == "json":
+        print(_json.dumps(manifests_to_json(manifests), indent=2,
+                          default=str))
+        return 0
+    if fmt == "csv":
+        sys.stdout.write(manifests_to_csv(manifests))
+        return 0
+    if fmt == "prom":
+        sys.stdout.write(manifests_to_prometheus(manifests))
+        return 0
 
     rows = []
     for i, m in enumerate(manifests):
@@ -318,14 +392,70 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the hot-path suite, archive a BENCH_*.json, police regressions."""
+    from .obs import bench
+    from .report import render_table
+
+    if args.list:
+        print(render_table(
+            ["name", "group", "description"],
+            [[c.name, c.group, c.description] for c in bench.SUITE],
+            title="Benchmark suite",
+        ))
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    mode = "quick" if args.quick else "full"
+    print(f"running {mode} benchmark suite "
+          f"({len(bench.select_cases(select))} case(s))...")
+
+    def progress(name: str, record: dict) -> None:
+        throughput = record["samples_per_sec"]
+        rate = "-" if throughput is None else f"{throughput:,.0f}"
+        print(f"  {name:<20s} {record['wall_best'] * 1e3:9.2f} ms  "
+              f"{rate:>12s} samples/s")
+
+    payload = bench.run_suite(
+        quick=args.quick, repeats=args.repeats, select=select,
+        track_memory=not args.no_memory, progress=progress,
+    )
+    path = bench.write_bench_file(payload, args.out)
+    print(f"trajectory -> {path}")
+    args._outcome.update(bench_file=path,
+                         cases=sorted(payload["results"]))
+
+    if args.no_compare:
+        return 0
+    baseline_root = args.baseline if args.baseline is not None else args.out
+    baseline_path = bench.find_baseline(
+        baseline_root, quick=args.quick, exclude=path)
+    if baseline_path is None:
+        print("no baseline to compare against (first trajectory file); "
+              "future runs will compare against this one")
+        return 0
+    comparison = bench.compare_runs(
+        bench.read_bench_file(baseline_path), payload,
+        threshold=args.threshold, normalize=not args.no_normalize,
+    )
+    print()
+    print(bench.render_comparison(comparison, baseline_path=baseline_path))
+    args._outcome.update(baseline=baseline_path,
+                         regressions=comparison["regressions"])
+    return 1 if comparison["regressions"] else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
     Besides dispatching, this is where the telemetry envelope lives:
     ``--log-level`` configures the structured logger, ``--telemetry-out``
-    opens a fresh telemetry session around the command and freezes it
-    into a run manifest afterwards (even when the command fails — a
-    misbehaving run is exactly the one worth inspecting).
+    opens a fresh telemetry session around the command (``--perf-profile``
+    attaches the hot-path profiler to it) and freezes it into a run
+    manifest afterwards.  A command that *raises* still gets its manifest
+    — with ``outcome.status = "error"`` and the exception recorded — a
+    misbehaving run is exactly the one worth inspecting; the exception
+    then propagates unchanged.
     """
     from . import obs
 
@@ -336,35 +466,81 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "validate": cmd_validate,
         "campaign": cmd_campaign,
         "telemetry": cmd_telemetry,
+        "bench": cmd_bench,
     }
     args._outcome = {}
     if getattr(args, "log_level", None):
         obs.configure_logging(args.log_level)
     telemetry_out = getattr(args, "telemetry_out", None)
-    session = obs.enable_telemetry() if telemetry_out else None
+    profiling = bool(getattr(args, "perf_profile", False)
+                     or getattr(args, "perf_memory", False))
+    session = (
+        obs.enable_telemetry(
+            profile=profiling,
+            profile_memory=bool(getattr(args, "perf_memory", False)))
+        if (telemetry_out or profiling) else None
+    )
     code: Optional[int] = None
+    error: Optional[BaseException] = None
     try:
         with obs.span(args.command):
             code = handlers[args.command](args)
         return code
+    except BaseException as exc:
+        error = exc
+        raise
     finally:
         if session is not None:
             args._outcome["exit_code"] = code
-            seed = getattr(args, "seed", getattr(args, "base_seed", None))
-            config = {
-                k: v for k, v in vars(args).items()
-                if not k.startswith("_") and k not in ("command", "telemetry_out")
-                and v is not None
-            }
-            manifest = obs.build_manifest(
-                session, command=args.command, config=config, seed=seed,
-                outcome=args._outcome,
-            )
-            path = obs.write_manifest(manifest, telemetry_out)
-            print(f"telemetry -> {path}")
+            args._outcome["status"] = "ok" if error is None else "error"
+            if error is not None:
+                args._outcome["error"] = {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                }
+            if telemetry_out:
+                seed = getattr(args, "seed", getattr(args, "base_seed", None))
+                config = {
+                    k: v for k, v in vars(args).items()
+                    if not k.startswith("_")
+                    and k not in ("command", "telemetry_out")
+                    and v is not None
+                }
+                manifest = obs.build_manifest(
+                    session, command=args.command, config=config, seed=seed,
+                    outcome=args._outcome,
+                )
+                path = obs.write_manifest(manifest, telemetry_out)
+                print(f"telemetry -> {path}")
+            elif session.profiler is not None and len(session.profiler):
+                print()
+                print(_render_profile(session.profiler.snapshot()))
             obs.disable_telemetry()
         if getattr(args, "log_level", None):
             obs.reset_logging()
+
+
+def _render_profile(snapshot: dict) -> str:
+    """Hot-path profile as a report table (for profiled runs w/o manifest)."""
+    from .report import render_table
+
+    rows = []
+    for name, stats in snapshot.get("hotpaths", {}).items():
+        mem = stats.get("mem_peak_bytes")
+        rows.append([
+            name, stats["calls"],
+            stats["wall_total"], stats["wall_mean"] or 0.0,
+            stats["cpu_total"],
+            "-" if mem is None else f"{mem / 1e6:.1f}",
+        ])
+    title = "Hot-path profile"
+    peak = snapshot.get("peak_rss_bytes")
+    if peak is not None:
+        title += f" (process peak RSS {peak / 1e6:.0f} MB)"
+    return render_table(
+        ["hot path", "calls", "wall_s", "wall_mean_s", "cpu_s", "mem_peak_MB"],
+        rows, title=title,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

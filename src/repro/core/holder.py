@@ -33,6 +33,7 @@ from .._validation import (
     check_positive_int,
 )
 from ..exceptions import AnalysisError, ValidationError
+from ..obs.profile import profile
 from ..trace.series import TimeSeries
 from ..fractal.wavelets import cwt
 
@@ -171,6 +172,7 @@ class HolderTrajectory:
         return int(self.times.size)
 
 
+@profile("core.holder_trajectory")
 def holder_trajectory(
     ts: TimeSeries,
     *,

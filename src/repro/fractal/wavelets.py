@@ -33,6 +33,7 @@ from .._validation import (
     check_positive_int,
 )
 from ..exceptions import AnalysisError, ValidationError
+from ..obs.profile import profile
 
 # ---------------------------------------------------------------------------
 # Filter construction
@@ -159,6 +160,7 @@ def _idwt_step(approx: np.ndarray, detail: np.ndarray, h: np.ndarray, g: np.ndar
     return x
 
 
+@profile("fractal.dwt")
 def dwt(values, *, wavelet: int = 2, level: int | None = None) -> List[np.ndarray]:
     """Periodic orthonormal DWT.
 
@@ -215,6 +217,7 @@ def idwt(coeffs: Sequence[np.ndarray], *, wavelet: int = 2) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
+@profile("fractal.modwt")
 def modwt(values, *, wavelet: int = 2, level: int | None = None) -> Dict[int, np.ndarray]:
     """Maximal-overlap DWT detail coefficients per level.
 
@@ -277,6 +280,7 @@ def _morlet_wavelet_hat(omega: np.ndarray, scale: float, omega0: float = 6.0) ->
     return hat * np.sqrt(scale)
 
 
+@profile("fractal.cwt")
 def cwt(
     values,
     scales,

@@ -29,6 +29,7 @@ import numpy as np
 
 from .._validation import as_1d_float_array, check_positive_int
 from ..exceptions import AnalysisError, ValidationError
+from ..obs.profile import profile
 from ..stats.regression import fit_line
 from .wavelets import cwt
 
@@ -64,6 +65,7 @@ def _local_maxima(row: np.ndarray) -> np.ndarray:
     return np.flatnonzero(interior) + 1
 
 
+@profile("fractal.wtmm")
 def wtmm(
     values,
     *,

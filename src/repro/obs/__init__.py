@@ -1,18 +1,27 @@
-"""repro.obs — run telemetry: structured logging, metrics, spans, manifests.
+"""repro.obs — run telemetry: logging, metrics, spans, manifests, profiling.
 
-The observability layer of the reproduction (subsystem S14 in
-DESIGN.md).  Four pieces, composable but independently usable:
+The observability layer of the reproduction (subsystems S14/S15 in
+DESIGN.md).  Seven pieces, composable but independently usable:
 
 * :mod:`repro.obs.logger` — structured logging under the ``"repro"``
   stdlib-logging root, with human and JSON-lines sinks
   (:func:`configure_logging`, :func:`get_logger`).
 * :mod:`repro.obs.metrics` — a name-keyed registry of counters,
-  gauges, histograms and timers with near-zero cost when disabled.
+  gauges, histograms (with p50/p90/p99 quantiles) and timers with
+  near-zero cost when disabled.
 * :mod:`repro.obs.spans` — nestable ``span(...)`` context managers
   that time pipeline stages and simulation phases.
 * :mod:`repro.obs.manifest` — per-run manifest artifacts
   (``manifest.json`` + ``events.jsonl``) freezing config, seed,
   versions, stage durations, a metrics snapshot and the event log.
+* :mod:`repro.obs.profile` — hot-path profiling hooks (wall/CPU time,
+  call counts, peak RSS / traced-allocation peaks) attachable to any
+  telemetry session via ``enable_telemetry(profile=True)``.
+* :mod:`repro.obs.export` — exporters rendering sessions and saved
+  manifests as Prometheus/OpenMetrics text, flat JSON or CSV.
+* :mod:`repro.obs.bench` — the ``python -m repro bench`` harness:
+  curated hot-path microbenchmarks, versioned ``BENCH_*.json``
+  perf-trajectory files, and baseline regression comparison.
 
 Library code is instrumented against the *current telemetry session*
 (:mod:`repro.obs.session`); the default session is disabled, so imports
@@ -60,6 +69,22 @@ from .manifest import (
     read_manifest,
     write_manifest,
 )
+from .profile import (
+    Profiler,
+    ProfileRecord,
+    active_profiler,
+    peak_rss_bytes,
+    profile,
+    set_active_profiler,
+)
+from .export import (
+    PrometheusWriter,
+    flatten_metrics,
+    manifests_to_csv,
+    manifests_to_json,
+    manifests_to_prometheus,
+    session_to_prometheus,
+)
 
 __all__ = [
     # logging
@@ -99,4 +124,18 @@ __all__ = [
     "read_manifest",
     "write_manifest",
     "load_manifests",
+    # profiling
+    "Profiler",
+    "ProfileRecord",
+    "profile",
+    "active_profiler",
+    "set_active_profiler",
+    "peak_rss_bytes",
+    # exporters
+    "PrometheusWriter",
+    "flatten_metrics",
+    "manifests_to_json",
+    "manifests_to_csv",
+    "manifests_to_prometheus",
+    "session_to_prometheus",
 ]

@@ -1,0 +1,560 @@
+"""Hot-path benchmark harness and the ``BENCH_*.json`` perf trajectory.
+
+``python -m repro bench`` runs a curated suite of microbenchmarks over
+the library's hot paths — the stress-to-crash fleet, the Hölder
+trajectory, the multifractal estimators (WTMM, MF-DFA, the sliding
+spectrum), the wavelet transforms, the raw event engine and the full
+``analyze_counter`` pipeline — and freezes the numbers into a versioned
+trajectory file::
+
+    BENCH_<YYYYMMDD>_<gitsha7>.json
+
+Each file records, per benchmark: best/mean wall seconds over N
+repeats, CPU seconds, throughput in samples/sec, and the peak traced
+allocation size of one run; plus an environment fingerprint (python,
+numpy, platform, CPU count, git SHA) and a *calibration* measurement —
+the wall time of a fixed numpy workload on this machine.  Trajectory
+files accumulate; comparing the newest file against the previous one
+(or an explicitly committed baseline) yields the regression report, and
+``compare_runs`` normalises by the calibration ratio so a slower CI
+runner is not mistaken for a slower library.
+
+Every workload is deterministic (fixed seeds, fixed sizes), so two runs
+of the same code on the same machine time the same computation.
+``--quick`` shrinks the workloads ~4-10x for CI smoke runs; quick and
+full results are never compared against each other.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import platform
+import subprocess
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import TraceError, ValidationError
+from .logger import get_logger
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCH_PREFIX",
+    "BenchCase",
+    "SUITE",
+    "case_names",
+    "select_cases",
+    "run_case",
+    "run_suite",
+    "environment_fingerprint",
+    "write_bench_file",
+    "read_bench_file",
+    "find_baseline",
+    "compare_runs",
+    "render_comparison",
+]
+
+BENCH_SCHEMA = "repro.bench-trajectory/1"
+BENCH_PREFIX = "BENCH_"
+
+_log = get_logger("obs.bench")
+
+
+# -- the curated suite ---------------------------------------------------------
+#
+# A case's ``setup(quick)`` builds the workload (inputs, configs) outside
+# the timed region and returns a zero-argument callable; the callable
+# runs one iteration and returns the number of samples it processed, so
+# the harness can report throughput.  All RNG seeds are fixed.
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One curated microbenchmark over a library hot path."""
+
+    name: str
+    group: str
+    description: str
+    setup: Callable[[bool], Callable[[], int]]
+
+
+def _case_simkernel_events(quick: bool) -> Callable[[], int]:
+    from ..simkernel import Simulator
+
+    n_chains = 20
+    horizon = 2_000.0 if quick else 10_000.0
+
+    def run() -> int:
+        sim = Simulator()
+
+        def make_tick(period: float):
+            def tick() -> None:
+                sim.schedule_in(period, tick)
+            return tick
+
+        for i in range(n_chains):
+            sim.schedule_in(0.5 + 0.01 * i, make_tick(1.0 + 0.01 * i))
+        sim.run_until(horizon)
+        return sim.events_fired
+
+    return run
+
+
+def _case_memsim_fleet(quick: bool) -> Callable[[], int]:
+    from ..memsim import MachineConfig, run_fleet
+
+    n_runs = 1 if quick else 2
+    budget = 4_000.0 if quick else 20_000.0
+
+    def run() -> int:
+        results = run_fleet(
+            MachineConfig.nt4(seed=1, max_run_seconds=budget), n_runs)
+        return sum(
+            len(r.bundle[name]) for r in results for name in r.bundle.names)
+
+    return run
+
+
+def _synthetic_counter(n: int, seed: int = 7):
+    import numpy as np
+
+    from ..generators import fgn
+    from ..trace.series import TimeSeries
+
+    noise = fgn(n, 0.7, rng=np.random.default_rng(seed))
+    return TimeSeries.from_values(np.cumsum(noise), name="synthetic")
+
+
+def _case_holder_trajectory(quick: bool) -> Callable[[], int]:
+    from ..core.holder import holder_trajectory
+
+    ts = _synthetic_counter(4096 if quick else 16384)
+
+    def run() -> int:
+        return len(holder_trajectory(ts))
+
+    return run
+
+
+def _case_wtmm(quick: bool) -> Callable[[], int]:
+    import numpy as np
+
+    from ..fractal.wtmm import wtmm
+    from ..generators import fbm
+
+    x = fbm(2048 if quick else 8192, 0.6, rng=np.random.default_rng(3))
+
+    def run() -> int:
+        wtmm(x)
+        return x.size
+
+    return run
+
+
+def _case_mfdfa(quick: bool) -> Callable[[], int]:
+    import numpy as np
+
+    from ..fractal.mfdfa import mfdfa
+    from ..generators import fgn
+
+    x = fgn(4096 if quick else 16384, 0.7, rng=np.random.default_rng(5))
+
+    def run() -> int:
+        mfdfa(x)
+        return x.size
+
+    return run
+
+
+def _case_sliding_spectrum(quick: bool) -> Callable[[], int]:
+    from ..fractal.sliding import sliding_mfdfa
+
+    ts = _synthetic_counter(4096 if quick else 12288, seed=11)
+    window = 1024
+    step = 512 if quick else 256
+
+    def run() -> int:
+        sliding_mfdfa(ts, window=window, step=step)
+        return len(ts)
+
+    return run
+
+
+def _case_wavelets(quick: bool) -> Callable[[], int]:
+    import numpy as np
+
+    from ..fractal.wavelets import cwt, dwt, modwt
+    from ..generators import fgn
+
+    x = fgn(4096 if quick else 16384, 0.6, rng=np.random.default_rng(9))
+    scales = np.geomspace(4.0, x.size / 8.0, 16)
+
+    def run() -> int:
+        dwt(x)
+        modwt(x, level=6)
+        cwt(np.cumsum(x), scales)
+        return x.size
+
+    return run
+
+
+def _case_analyze_pipeline(quick: bool) -> Callable[[], int]:
+    from ..core.pipeline import analyze_counter
+
+    ts = _synthetic_counter(4096 if quick else 16384, seed=13)
+
+    def run() -> int:
+        analyze_counter(ts, indicator_window=256)
+        return len(ts)
+
+    return run
+
+
+SUITE: Tuple[BenchCase, ...] = (
+    BenchCase("simkernel.events", "simkernel",
+              "event-engine churn: 20 self-rescheduling timer chains",
+              _case_simkernel_events),
+    BenchCase("memsim.fleet", "memsim",
+              "stress-to-crash fleet simulation (NT4 profile)",
+              _case_memsim_fleet),
+    BenchCase("core.holder", "core",
+              "pointwise Hölder trajectory of a synthetic counter",
+              _case_holder_trajectory),
+    BenchCase("fractal.wtmm", "fractal",
+              "WTMM multifractal spectrum of an fBm path",
+              _case_wtmm),
+    BenchCase("fractal.mfdfa", "fractal",
+              "MF-DFA generalized-Hurst analysis of fGn",
+              _case_mfdfa),
+    BenchCase("fractal.sliding", "fractal",
+              "sliding-window MFDFA spectrum trajectory",
+              _case_sliding_spectrum),
+    BenchCase("fractal.wavelets", "fractal",
+              "DWT + MODWT + CWT transforms",
+              _case_wavelets),
+    BenchCase("core.pipeline", "core",
+              "full analyze_counter chain (preprocess→Hölder→detector)",
+              _case_analyze_pipeline),
+)
+
+
+def case_names() -> List[str]:
+    """The names of every benchmark in the curated suite."""
+    return [case.name for case in SUITE]
+
+
+def select_cases(patterns: Optional[Sequence[str]]) -> List[BenchCase]:
+    """Cases whose name contains any of ``patterns`` (all when None/empty)."""
+    if not patterns:
+        return list(SUITE)
+    chosen = [c for c in SUITE if any(p in c.name for p in patterns)]
+    if not chosen:
+        raise ValidationError(
+            f"no benchmark matches {list(patterns)!r}; "
+            f"available: {case_names()}"
+        )
+    return chosen
+
+
+# -- measurement ---------------------------------------------------------------
+
+def run_case(
+    case: BenchCase, *, quick: bool = False, repeats: int = 3,
+    track_memory: bool = True,
+) -> dict:
+    """Run one benchmark case and return its JSON-able result record.
+
+    One untimed warmup iteration absorbs lazy imports, filter caches and
+    allocator warm-up; then ``repeats`` timed iterations (wall via
+    ``perf_counter``, CPU via ``process_time``); finally, when
+    ``track_memory`` is on, one extra iteration under ``tracemalloc``
+    measures the peak traced allocation size (kept out of the timings —
+    tracing slows allocation-heavy code severalfold).
+    """
+    if repeats < 1:
+        raise ValidationError(f"repeats must be >= 1, got {repeats}")
+    fn = case.setup(quick)
+    n_samples = fn()  # warmup, untimed
+    walls: List[float] = []
+    cpus: List[float] = []
+    for _ in range(repeats):
+        c0 = time.process_time()
+        w0 = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - w0)
+        cpus.append(time.process_time() - c0)
+    mem_peak: Optional[int] = None
+    if track_memory:
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        tracemalloc.reset_peak()
+        fn()
+        mem_peak = tracemalloc.get_traced_memory()[1]
+        if not was_tracing:
+            tracemalloc.stop()
+    wall_best = min(walls)
+    return {
+        "group": case.group,
+        "description": case.description,
+        "repeats": repeats,
+        "n_samples": n_samples,
+        "wall_best": wall_best,
+        "wall_mean": sum(walls) / len(walls),
+        "cpu_best": min(cpus),
+        "samples_per_sec": n_samples / wall_best if wall_best > 0 else None,
+        "mem_peak_bytes": mem_peak,
+    }
+
+
+def _calibration_seconds() -> float:
+    """Wall time of a fixed numpy workload — this machine's speed unit.
+
+    Comparing two trajectory files from different machines, the ratio of
+    their calibrations estimates the hardware speed difference, letting
+    the regression check normalise it away.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(12345)
+    x = rng.standard_normal(2**18)
+    m = rng.standard_normal((96, 96))
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        y = np.fft.rfft(x)
+        float(np.abs(y).sum())
+        np.convolve(x[:2**14], x[:2**9]).sum()
+        np.linalg.eigvalsh(m @ m.T)
+        np.sort(x.copy())
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def git_sha(short: int = 12) -> str:
+    """The current git commit (CI env var or ``git rev-parse``), else "unknown"."""
+    env_sha = os.environ.get("GITHUB_SHA")
+    if env_sha:
+        return env_sha[:short]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", f"--short={short}", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+    except OSError:
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def environment_fingerprint() -> dict:
+    """Where these numbers came from: versions, hardware, calibration."""
+    import numpy
+
+    from .. import __version__
+
+    return {
+        "repro": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": git_sha(),
+        "calibration_seconds": _calibration_seconds(),
+    }
+
+
+def run_suite(
+    *, quick: bool = False, repeats: Optional[int] = None,
+    select: Optional[Sequence[str]] = None, track_memory: bool = True,
+    progress: Optional[Callable[[str, dict], None]] = None,
+) -> dict:
+    """Run (a selection of) the suite and return the trajectory payload."""
+    if repeats is None:
+        repeats = 3 if quick else 5
+    cases = select_cases(select)
+    results: Dict[str, dict] = {}
+    for case in cases:
+        _log.info("benchmark starting", case=case.name, quick=quick)
+        record = run_case(case, quick=quick, repeats=repeats,
+                          track_memory=track_memory)
+        results[case.name] = record
+        _log.info("benchmark finished", case=case.name,
+                  wall_best=record["wall_best"])
+        if progress is not None:
+            progress(case.name, record)
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_at": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+        "quick": quick,
+        "repeats": repeats,
+        "environment": environment_fingerprint(),
+        "results": results,
+    }
+
+
+# -- trajectory files ----------------------------------------------------------
+
+def bench_filename(payload: dict) -> str:
+    """``BENCH_<YYYYMMDD>_<gitsha7>.json`` for a suite payload."""
+    stamp = payload["created_at"][:10].replace("-", "")
+    sha = payload["environment"].get("git_sha", "unknown")[:7] or "unknown"
+    return f"{BENCH_PREFIX}{stamp}_{sha}.json"
+
+
+def write_bench_file(payload: dict, out_dir: str | os.PathLike) -> str:
+    """Write the trajectory file under ``out_dir``; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(os.fspath(out_dir), bench_filename(payload))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def read_bench_file(path: str | os.PathLike) -> dict:
+    """Read one trajectory file back, validating its schema."""
+    with open(path, "r") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"corrupt bench file {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise TraceError(
+            f"unsupported bench schema in {path} (expected {BENCH_SCHEMA!r})"
+        )
+    return payload
+
+
+def find_baseline(
+    path: str | os.PathLike, *, quick: Optional[bool] = None,
+    exclude: Optional[str | os.PathLike] = None,
+) -> Optional[str]:
+    """The newest matching ``BENCH_*.json`` under ``path`` (or the file itself).
+
+    ``quick`` filters to trajectory files of the same workload size —
+    quick and full runs time different computations and must never be
+    compared.  ``exclude`` skips the file just written.  Returns None
+    when nothing matches (first run ever: no baseline, nothing to
+    compare).
+    """
+    path = os.fspath(path)
+    if os.path.isfile(path):
+        return path
+    if not os.path.isdir(path):
+        return None
+    excluded = os.path.abspath(os.fspath(exclude)) if exclude else None
+    candidates: List[Tuple[str, str]] = []
+    for entry in os.listdir(path):
+        if not (entry.startswith(BENCH_PREFIX) and entry.endswith(".json")):
+            continue
+        full = os.path.join(path, entry)
+        if excluded and os.path.abspath(full) == excluded:
+            continue
+        try:
+            payload = read_bench_file(full)
+        except (TraceError, OSError):
+            continue
+        if quick is not None and bool(payload.get("quick")) != quick:
+            continue
+        candidates.append((payload.get("created_at", ""), full))
+    if not candidates:
+        return None
+    candidates.sort()
+    return candidates[-1][1]
+
+
+# -- comparison / regression report --------------------------------------------
+
+def compare_runs(
+    baseline: dict, current: dict, *, threshold: float = 0.25,
+    normalize: bool = True,
+) -> dict:
+    """Compare two trajectory payloads hot path by hot path.
+
+    The compared quantity is best wall time; with ``normalize`` on, the
+    baseline's timings are rescaled by the machines' calibration ratio
+    (current/baseline), so cross-machine comparisons measure the code,
+    not the hardware.  A hot path regresses when its (normalised) ratio
+    exceeds ``1 + threshold``; it improved when below ``1 - threshold``.
+    """
+    if threshold <= 0:
+        raise ValidationError(f"threshold must be positive, got {threshold}")
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        raise ValidationError(
+            "cannot compare quick and full trajectory files: "
+            "they time different workloads"
+        )
+    scale = 1.0
+    if normalize:
+        cal_base = baseline.get("environment", {}).get("calibration_seconds")
+        cal_cur = current.get("environment", {}).get("calibration_seconds")
+        if cal_base and cal_cur and cal_base > 0:
+            scale = cal_cur / cal_base
+    rows: List[dict] = []
+    regressions: List[str] = []
+    for name, cur in current.get("results", {}).items():
+        base = baseline.get("results", {}).get(name)
+        if base is None:
+            rows.append({"name": name, "status": "new",
+                         "baseline_wall": None,
+                         "current_wall": cur["wall_best"], "ratio": None})
+            continue
+        expected = base["wall_best"] * scale
+        ratio = cur["wall_best"] / expected if expected > 0 else float("inf")
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append({"name": name, "status": status,
+                     "baseline_wall": expected,
+                     "current_wall": cur["wall_best"], "ratio": ratio})
+    return {
+        "threshold": threshold,
+        "normalized": normalize,
+        "calibration_scale": scale,
+        "rows": rows,
+        "regressions": regressions,
+    }
+
+
+def render_comparison(comparison: dict, *, baseline_path: str = "") -> str:
+    """Human-readable regression report for one comparison."""
+    from ..report import render_table
+
+    rows = []
+    for row in comparison["rows"]:
+        rows.append([
+            row["name"],
+            "-" if row["baseline_wall"] is None
+            else f"{row['baseline_wall'] * 1e3:.2f}",
+            f"{row['current_wall'] * 1e3:.2f}",
+            "-" if row["ratio"] is None else f"{row['ratio']:.3f}",
+            "-" if row["ratio"] is None
+            else f"{(row['ratio'] - 1.0) * 100.0:+.1f}%",
+            row["status"],
+        ])
+    title = "Perf trajectory vs baseline"
+    if baseline_path:
+        title += f" ({baseline_path})"
+    if comparison["normalized"] and comparison["calibration_scale"] != 1.0:
+        title += (f" [calibration-normalized x"
+                  f"{comparison['calibration_scale']:.3f}]")
+    table = render_table(
+        ["hot path", "baseline_ms", "current_ms", "ratio", "delta", "status"],
+        rows, title=title,
+    )
+    footer = (
+        f"\nregression threshold: {comparison['threshold'] * 100:.0f}% — "
+        + (f"{len(comparison['regressions'])} hot path(s) regressed: "
+           + ", ".join(comparison["regressions"])
+           if comparison["regressions"] else "no regressions")
+    )
+    return table + footer

@@ -1,0 +1,293 @@
+"""Exporters: telemetry as Prometheus/OpenMetrics text, flat JSON and CSV.
+
+A telemetry session (or a saved :class:`~repro.obs.manifest.RunManifest`)
+is a tree of snapshots; monitoring systems want flat, typed samples.
+Three renderings cover the consumers we care about:
+
+* :func:`manifests_to_prometheus` / :func:`session_to_prometheus` —
+  OpenMetrics text (the Prometheus exposition format): one metric
+  family per instrument, counters suffixed ``_total``, histograms and
+  timers rendered as summaries with ``quantile`` labels, stage
+  durations, event counts and hot-path profile data as labelled
+  families, terminated by ``# EOF``.
+* :func:`flatten_metrics` / :func:`manifests_to_json` — a flat
+  ``{"name.field": value}`` dict per run, the shape dashboards and
+  ad-hoc scripts index painlessly.
+* :func:`manifests_to_csv` — one ``run,command,seed,metric,value`` row
+  per scalar, concatenable across runs and loadable anywhere.
+
+Everything here is pure formatting over snapshots — no I/O, no global
+state — so the CLI, tests and embedders can call it on anything.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import re
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ValidationError
+from .manifest import RunManifest
+from .session import TelemetrySession
+
+__all__ = [
+    "flatten_metrics",
+    "manifests_to_json",
+    "manifests_to_csv",
+    "manifests_to_prometheus",
+    "session_to_prometheus",
+    "PrometheusWriter",
+]
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_INVALID_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+# -- flat dumps ----------------------------------------------------------------
+
+def flatten_metrics(metrics: Mapping[str, Mapping[str, object]]) -> Dict[str, object]:
+    """Flatten a registry snapshot to ``{"name.field": value}``.
+
+    The ``type`` discriminator and empty (None) fields are dropped; what
+    remains is exactly the numeric content of the snapshot.
+    """
+    flat: Dict[str, object] = {}
+    for name, snap in metrics.items():
+        for field, value in snap.items():
+            if field == "type" or value is None:
+                continue
+            flat[f"{name}.{field}"] = value
+    return flat
+
+
+def manifests_to_json(manifests: Sequence[RunManifest]) -> List[dict]:
+    """One JSON-able record per run: identity, envelope, flat metrics."""
+    records = []
+    for index, manifest in enumerate(manifests):
+        records.append({
+            "run": index,
+            "command": manifest.command,
+            "seed": manifest.seed,
+            "started_at": manifest.started_at,
+            "wall_seconds": manifest.wall_seconds,
+            "n_spans": len(manifest.spans),
+            "n_events": len(manifest.events),
+            "stage_seconds": manifest.stage_durations(),
+            "metrics": flatten_metrics(manifest.metrics),
+            "profile": manifest.profile,
+            "outcome": manifest.outcome,
+        })
+    return records
+
+
+def manifests_to_csv(manifests: Sequence[RunManifest]) -> str:
+    """Flat CSV: ``run,command,seed,metric,value`` rows for every scalar.
+
+    Stage durations and profile hot-path stats are included under
+    ``stage.<path>.seconds`` and ``profile.<hotpath>.<field>`` names, so
+    one CSV carries the whole quantitative content of a run.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["run", "command", "seed", "metric", "value"])
+    for index, manifest in enumerate(manifests):
+        seed = "" if manifest.seed is None else manifest.seed
+        rows: List[Tuple[str, object]] = list(
+            flatten_metrics(manifest.metrics).items())
+        if manifest.wall_seconds is not None:
+            rows.append(("run.wall_seconds", manifest.wall_seconds))
+        for path, seconds in manifest.stage_durations().items():
+            rows.append((f"stage.{path}.seconds", seconds))
+        for hotpath, stats in manifest.profile.get("hotpaths", {}).items():
+            for field, value in stats.items():
+                if value is not None:
+                    rows.append((f"profile.{hotpath}.{field}", value))
+        for metric, value in rows:
+            writer.writerow([index, manifest.command, seed, metric, value])
+    return buffer.getvalue()
+
+
+# -- Prometheus / OpenMetrics --------------------------------------------------
+
+def _metric_name(name: str, prefix: str) -> str:
+    return prefix + _INVALID_NAME_CHARS.sub("_", name)
+
+
+def _label_str(labels: Mapping[str, object]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key in labels:
+        value = str(labels[key])
+        value = value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+        safe_key = _INVALID_LABEL_CHARS.sub("_", str(key))
+        parts.append(f'{safe_key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: object) -> str:
+    number = float(value)  # bools and ints included
+    if number != number:
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    return repr(number)
+
+
+class PrometheusWriter:
+    """Accumulates samples into OpenMetrics text, one family per name.
+
+    Families are declared once (``# TYPE``/``# HELP``) in first-use
+    order; samples within a family keep insertion order.  Re-adding a
+    family with a conflicting type is an error — the exposition format
+    forbids it, and a silent override would corrupt scrapes.
+    """
+
+    def __init__(self, *, prefix: str = "repro_") -> None:
+        self.prefix = prefix
+        self._families: Dict[str, dict] = {}
+
+    def sample(
+        self, name: str, mtype: str, value: object, *,
+        labels: Optional[Mapping[str, object]] = None,
+        suffix: str = "", help: Optional[str] = None,
+    ) -> None:
+        """Record one sample of family ``name`` (suffix for _sum/_count etc.)."""
+        if mtype not in ("counter", "gauge", "summary", "info", "unknown"):
+            raise ValidationError(f"unsupported metric type {mtype!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = {"type": mtype, "help": help, "samples": []}
+            self._families[name] = family
+        elif family["type"] != mtype:
+            raise ValidationError(
+                f"metric family {name!r} already declared as "
+                f"{family['type']}, not {mtype}"
+            )
+        family["samples"].append((suffix, dict(labels or {}), value))
+
+    def render(self) -> str:
+        """The full OpenMetrics exposition, terminated by ``# EOF``."""
+        lines: List[str] = []
+        for name, family in self._families.items():
+            full = _metric_name(name, self.prefix)
+            if family["help"]:
+                lines.append(f"# HELP {full} {family['help']}")
+            lines.append(f"# TYPE {full} {family['type']}")
+            for suffix, labels, value in family["samples"]:
+                sample_name = full + suffix
+                if family["type"] == "counter" and not suffix:
+                    sample_name = full + "_total"
+                lines.append(
+                    f"{sample_name}{_label_str(labels)} {_format_value(value)}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def _add_metrics_samples(
+    writer: PrometheusWriter,
+    metrics: Mapping[str, Mapping[str, object]],
+    labels: Mapping[str, object],
+) -> None:
+    for name, snap in metrics.items():
+        kind = snap.get("type")
+        if kind == "counter":
+            writer.sample(name, "counter", snap["value"], labels=labels)
+        elif kind == "gauge":
+            writer.sample(name, "gauge", snap["value"], labels=labels)
+            if snap.get("max") is not None:
+                writer.sample(f"{name}_max", "gauge", snap["max"], labels=labels)
+        elif kind in ("histogram", "timer"):
+            if not snap.get("count"):
+                continue
+            writer.sample(name, "summary", snap["count"],
+                          labels=labels, suffix="_count")
+            writer.sample(name, "summary", snap["total"],
+                          labels=labels, suffix="_sum")
+            for field, quantile in (("p50", "0.5"), ("p90", "0.9"),
+                                    ("p99", "0.99")):
+                if snap.get(field) is not None:
+                    writer.sample(name, "summary", snap[field],
+                                  labels={**labels, "quantile": quantile})
+            for bound in ("min", "max"):
+                if snap.get(bound) is not None:
+                    writer.sample(f"{name}_{bound}", "gauge",
+                                  snap[bound], labels=labels)
+
+
+def _add_profile_samples(
+    writer: PrometheusWriter,
+    profile: Mapping[str, object],
+    labels: Mapping[str, object],
+) -> None:
+    peak_rss = profile.get("peak_rss_bytes")
+    if peak_rss is not None:
+        writer.sample("process_peak_rss_bytes", "gauge", peak_rss,
+                      labels=labels,
+                      help="process-lifetime peak resident set size")
+    for hotpath, stats in profile.get("hotpaths", {}).items():
+        hp_labels = {**labels, "hotpath": hotpath}
+        writer.sample("profile_calls", "counter", stats["calls"],
+                      labels=hp_labels,
+                      help="profiled hot-path call count")
+        writer.sample("profile_wall_seconds", "counter", stats["wall_total"],
+                      labels=hp_labels,
+                      help="profiled hot-path wall-clock seconds")
+        writer.sample("profile_cpu_seconds", "counter", stats["cpu_total"],
+                      labels=hp_labels,
+                      help="profiled hot-path CPU seconds")
+        if stats.get("mem_peak_bytes") is not None:
+            writer.sample("profile_mem_peak_bytes", "gauge",
+                          stats["mem_peak_bytes"], labels=hp_labels,
+                          help="peak traced allocation size per call")
+
+
+def manifests_to_prometheus(
+    manifests: Sequence[RunManifest], *, prefix: str = "repro_",
+) -> str:
+    """Render run manifests as one OpenMetrics exposition.
+
+    Each run's samples carry ``run``/``command`` (and ``seed`` when set)
+    labels, so a multi-run archive exports as distinct series of shared
+    metric families rather than colliding declarations.
+    """
+    if not manifests:
+        raise ValidationError("no manifests to export")
+    writer = PrometheusWriter(prefix=prefix)
+    for index, manifest in enumerate(manifests):
+        labels: Dict[str, object] = {"run": index, "command": manifest.command}
+        if manifest.seed is not None:
+            labels["seed"] = manifest.seed
+        if manifest.wall_seconds is not None:
+            writer.sample("run_wall_seconds", "gauge", manifest.wall_seconds,
+                          labels=labels, help="total run wall-clock seconds")
+        for path, seconds in manifest.stage_durations().items():
+            writer.sample("stage_seconds", "gauge", seconds,
+                          labels={**labels, "stage": path},
+                          help="summed stage-span duration")
+        event_counts: Dict[str, int] = {}
+        for event in manifest.events:
+            kind = str(event.get("kind", "unknown"))
+            event_counts[kind] = event_counts.get(kind, 0) + 1
+        for kind, count in sorted(event_counts.items()):
+            writer.sample("events", "counter", count,
+                          labels={**labels, "kind": kind},
+                          help="recorded telemetry events by kind")
+        _add_metrics_samples(writer, manifest.metrics, labels)
+        _add_profile_samples(writer, manifest.profile, labels)
+    return writer.render()
+
+
+def session_to_prometheus(
+    session: TelemetrySession, *, prefix: str = "repro_",
+    labels: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Render a live telemetry session as OpenMetrics text."""
+    writer = PrometheusWriter(prefix=prefix)
+    base = dict(labels or {})
+    _add_metrics_samples(writer, session.metrics.snapshot(), base)
+    if session.profiler is not None:
+        _add_profile_samples(writer, session.profiler.snapshot(), base)
+    return writer.render()

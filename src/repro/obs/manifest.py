@@ -3,7 +3,8 @@
 A :class:`RunManifest` is the durable record of one CLI invocation (or
 any embedding-defined "run"): command, configuration, seed, component
 versions, wall-clock envelope, completed stage spans, a metrics
-snapshot, the event log, and a command-specific ``outcome`` block.
+snapshot, the event log, a hot-path profile (when the session ran with
+profiling on), and a command-specific ``outcome`` block.
 
 On disk a run is a directory::
 
@@ -75,6 +76,7 @@ class RunManifest:
     spans: List[dict] = field(default_factory=list)
     metrics: Dict[str, dict] = field(default_factory=dict)
     events: List[dict] = field(default_factory=list)
+    profile: Dict[str, object] = field(default_factory=dict)
     outcome: Dict[str, object] = field(default_factory=dict)
     schema: str = MANIFEST_SCHEMA
 
@@ -109,6 +111,7 @@ class RunManifest:
             "spans": self.spans,
             "metrics": self.metrics,
             "events": self.events,
+            "profile": self.profile,
             "outcome": self.outcome,
         }
 
@@ -133,6 +136,7 @@ def build_manifest(
         spans=session.spans.to_list(),
         metrics=session.metrics.snapshot(),
         events=list(session.events),
+        profile=session.profiler.snapshot() if session.profiler else {},
         outcome=dict(outcome or {}),
     )
 
@@ -179,6 +183,7 @@ def read_manifest(path: str | os.PathLike) -> RunManifest:
         spans=payload.get("spans", []),
         metrics=payload.get("metrics", {}),
         events=payload.get("events", []),
+        profile=payload.get("profile", {}),
         outcome=payload.get("outcome", {}),
     )
 

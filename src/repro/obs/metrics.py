@@ -13,7 +13,9 @@ Instrument semantics follow the usual conventions:
 * **Counter** — monotone accumulator (``inc``).
 * **Gauge** — last-write-wins level (``set``), with ``max`` tracking.
 * **Histogram** — streaming summary of observations (count / total /
-  min / max / mean); no reservoir, so memory is O(1) per instrument.
+  min / max / mean) plus approximate quantiles (p50/p90/p99) from a
+  bounded, deterministically decimated reservoir — memory is O(cap)
+  per instrument, never O(stream).
 * **Timer** — a histogram of wall-clock durations usable as a context
   manager.
 """
@@ -89,9 +91,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/total/min/max/mean) of observations."""
+    """Streaming summary (count/total/min/max/mean/quantiles) of observations.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Quantiles come from a bounded reservoir: every ``stride``-th
+    observation is kept, and when the reservoir hits its cap it is
+    thinned in place (every second kept sample dropped) and the stride
+    doubled.  The scheme is deterministic (replays reproduce the same
+    estimates), spends O(:data:`RESERVOIR_CAP`) memory however long the
+    stream, and is *exact* until the cap is first reached.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_reservoir", "_stride", "_skipped")
+
+    RESERVOIR_CAP = 4096
+    QUANTILES = (0.5, 0.9, 0.99)
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -99,6 +113,9 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._reservoir: list = []
+        self._stride = 1
+        self._skipped = 0
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
@@ -109,16 +126,41 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._skipped += 1
+        if self._skipped >= self._stride:
+            self._skipped = 0
+            reservoir = self._reservoir
+            reservoir.append(value)
+            if len(reservoir) >= self.RESERVOIR_CAP:
+                del reservoir[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         """Mean observation (NaN before the first one)."""
         return self.total / self.count if self.count else float("nan")
 
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (NaN before the first observation).
+
+        Linear interpolation over the sorted reservoir; exact while the
+        stream is shorter than :data:`RESERVOIR_CAP`.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return float("nan")
+        ordered = sorted(self._reservoir)
+        position = q * (len(ordered) - 1)
+        lower = int(position)
+        upper = min(lower + 1, len(ordered) - 1)
+        fraction = position - lower
+        return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
     def snapshot(self) -> dict:
         """One JSON-able dict describing the current state."""
         empty = self.count == 0
-        return {
+        out = {
             "type": "histogram",
             "count": self.count,
             "total": self.total,
@@ -126,6 +168,10 @@ class Histogram:
             "max": None if empty else self.max,
             "mean": None if empty else self.mean,
         }
+        for q in self.QUANTILES:
+            label = f"p{q * 100:g}".replace(".", "_")
+            out[label] = None if empty else self.quantile(q)
+        return out
 
 
 class Timer(Histogram):
@@ -171,6 +217,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return float("nan")
 
     def __enter__(self) -> "_NullInstrument":
         return self

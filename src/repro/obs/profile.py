@@ -1,0 +1,279 @@
+"""Hot-path profiling hooks: wall/CPU time, call counts, memory peaks.
+
+A :class:`Profiler` accumulates per-hot-path call statistics — call and
+error counts, wall-clock and CPU time (total/min/max), and optionally
+the peak traced allocation size of each call (``tracemalloc``).  On top
+of the per-call data the snapshot records the *process* peak RSS
+(``resource.getrusage``), so a profile always answers both "which stage
+is slow" and "how big did we get".
+
+Library hot paths are annotated once, with the dual-use
+:func:`profile` hook::
+
+    @profile("fractal.mfdfa")           # decorator form
+    def mfdfa(...): ...
+
+    with profile("campaign.cell"):       # context-manager form
+        ...
+
+The hook resolves the *active* profiler at call time.  By default there
+is none and the annotated function is called straight through — the
+disabled path is one module-global read and one branch, so leaving the
+hooks on permanently costs well under typical measurement noise (the
+test suite holds it to < 5% on a tight loop of small calls).  A
+profiler becomes active when a telemetry session is created with
+profiling enabled (``enable_telemetry(profile=True)``) or when one is
+installed directly with :func:`set_active_profiler`.
+
+Memory tracking (``track_memory=True``) starts ``tracemalloc`` around
+each profiled call and records the peak traced size.  It is accurate but
+*slow* (every allocation is intercepted), which is why it is a separate
+opt-in; under nested profiled calls the inner call resets the shared
+peak, so nested per-call peaks are approximate lower bounds.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import time
+import tracemalloc
+from typing import Callable, Dict, Optional
+
+from ..exceptions import ValidationError
+
+try:  # POSIX only; Windows falls back to tracemalloc-only numbers.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "ProfileRecord",
+    "Profiler",
+    "profile",
+    "active_profiler",
+    "set_active_profiler",
+    "peak_rss_bytes",
+]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Process-lifetime peak resident set size in bytes (None if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalised
+    here so callers never have to care.
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on mac only
+        return int(peak)
+    return int(peak) * 1024
+
+
+class ProfileRecord:
+    """Accumulated statistics for one named hot path."""
+
+    __slots__ = (
+        "name", "calls", "errors", "wall_total", "wall_min", "wall_max",
+        "cpu_total", "mem_peak_bytes",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.errors = 0
+        self.wall_total = 0.0
+        self.wall_min = float("inf")
+        self.wall_max = float("-inf")
+        self.cpu_total = 0.0
+        self.mem_peak_bytes: Optional[int] = None
+
+    def observe(
+        self, wall: float, cpu: float, *,
+        mem_peak: Optional[int] = None, error: bool = False,
+    ) -> None:
+        """Fold one completed call into the record."""
+        self.calls += 1
+        if error:
+            self.errors += 1
+        self.wall_total += wall
+        if wall < self.wall_min:
+            self.wall_min = wall
+        if wall > self.wall_max:
+            self.wall_max = wall
+        self.cpu_total += cpu
+        if mem_peak is not None:
+            if self.mem_peak_bytes is None or mem_peak > self.mem_peak_bytes:
+                self.mem_peak_bytes = mem_peak
+
+    @property
+    def wall_mean(self) -> float:
+        """Mean wall seconds per call (NaN before the first call)."""
+        return self.wall_total / self.calls if self.calls else float("nan")
+
+    def snapshot(self) -> dict:
+        """One JSON-able dict describing the current state."""
+        empty = self.calls == 0
+        return {
+            "calls": self.calls,
+            "errors": self.errors,
+            "wall_total": self.wall_total,
+            "wall_mean": None if empty else self.wall_mean,
+            "wall_min": None if empty else self.wall_min,
+            "wall_max": None if empty else self.wall_max,
+            "cpu_total": self.cpu_total,
+            "mem_peak_bytes": self.mem_peak_bytes,
+        }
+
+
+class _Measurement:
+    """Context manager timing one call against a live profiler."""
+
+    __slots__ = ("_profiler", "_name", "_w0", "_c0", "_tracing")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Measurement":
+        if self._profiler.track_memory:
+            self._tracing = tracemalloc.is_tracing()
+            if not self._tracing:
+                tracemalloc.start()
+            tracemalloc.reset_peak()
+        self._c0 = time.process_time()
+        self._w0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._w0
+        cpu = time.process_time() - self._c0
+        mem_peak: Optional[int] = None
+        if self._profiler.track_memory:
+            mem_peak = tracemalloc.get_traced_memory()[1]
+            if not self._tracing:
+                tracemalloc.stop()
+        self._profiler.record(self._name).observe(
+            wall, cpu, mem_peak=mem_peak, error=exc_type is not None)
+        return False
+
+
+class Profiler:
+    """Per-hot-path call profiler; attach to a telemetry session or use alone."""
+
+    def __init__(self, *, enabled: bool = True, track_memory: bool = False) -> None:
+        self.enabled = enabled
+        self.track_memory = track_memory
+        self._records: Dict[str, ProfileRecord] = {}
+
+    def record(self, name: str) -> ProfileRecord:
+        """Get or create the record for hot path ``name``."""
+        if not name:
+            raise ValidationError("profile name must be non-empty")
+        rec = self._records.get(name)
+        if rec is None:
+            rec = ProfileRecord(name)
+            self._records[name] = rec
+        return rec
+
+    def measure(self, name: str):
+        """A context manager that profiles its body under ``name``."""
+        return _Measurement(self, name)
+
+    def call(self, name: str, fn: Callable, args: tuple, kwargs: dict):
+        """Run ``fn(*args, **kwargs)`` profiled under ``name``."""
+        with _Measurement(self, name):
+            return fn(*args, **kwargs)
+
+    def get(self, name: str) -> Optional[ProfileRecord]:
+        """The record for ``name``, or None if it never ran."""
+        return self._records.get(name)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def snapshot(self) -> dict:
+        """JSON-able state: process peak RSS + every hot-path record."""
+        return {
+            "track_memory": self.track_memory,
+            "peak_rss_bytes": peak_rss_bytes(),
+            "hotpaths": {
+                name: self._records[name].snapshot()
+                for name in sorted(self._records)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every record (new run, fresh numbers)."""
+        self._records.clear()
+
+
+# The active profiler is module state (not threaded through call sites)
+# for the same reason the telemetry session is: hot paths must resolve
+# it in one global read.  The session layer keeps it in sync with the
+# current session's ``profiler`` attribute.
+_active: Optional[Profiler] = None
+
+
+def active_profiler() -> Optional[Profiler]:
+    """The profiler hot paths currently report to (None = profiling off)."""
+    return _active
+
+
+def set_active_profiler(profiler: Optional[Profiler]) -> None:
+    """Install ``profiler`` as the target of every :func:`profile` hook."""
+    global _active
+    _active = profiler if (profiler is not None and profiler.enabled) else None
+
+
+class _ProfileHook:
+    """Dual-use hook returned by :func:`profile`: decorator or context manager."""
+
+    __slots__ = ("name", "_measurement")
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValidationError("profile name must be non-empty")
+        self.name = name
+
+    def __call__(self, fn: Callable) -> Callable:
+        name = self.name
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            prof = _active
+            if prof is None:
+                return fn(*args, **kwargs)
+            with _Measurement(prof, name):
+                return fn(*args, **kwargs)
+
+        wrapper.__profile_name__ = name
+        return wrapper
+
+    def __enter__(self):
+        prof = _active
+        self._measurement = None if prof is None else _Measurement(prof, self.name)
+        if self._measurement is not None:
+            self._measurement.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._measurement is not None:
+            self._measurement.__exit__(exc_type, exc, tb)
+            self._measurement = None
+        return False
+
+
+def profile(name: str) -> _ProfileHook:
+    """Mark a hot path: ``@profile("fractal.mfdfa")`` or ``with profile(...)``.
+
+    When no profiler is active the hook is a straight pass-through; when
+    one is (telemetry session with ``profile=True``), each call records
+    wall/CPU time, call count and — with memory tracking on — the peak
+    traced allocation size.
+    """
+    return _ProfileHook(name)

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 
 from .logger import get_logger
 from .metrics import MetricsRegistry, NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM, NULL_TIMER
+from .profile import Profiler, set_active_profiler
 from .spans import NULL_SPAN, SpanCollector
 
 __all__ = [
@@ -44,12 +45,26 @@ __all__ = [
 
 
 class TelemetrySession:
-    """Metrics registry + span collector + event log for one run."""
+    """Metrics registry + span collector + event log for one run.
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    ``profile=True`` additionally attaches a
+    :class:`~repro.obs.profile.Profiler`, so every :func:`profile`-marked
+    hot path reports per-call wall/CPU statistics into the session;
+    ``profile_memory=True`` also traces each call's peak allocation size
+    (accurate but slow — ``tracemalloc`` intercepts every allocation).
+    """
+
+    def __init__(
+        self, *, enabled: bool = True,
+        profile: bool = False, profile_memory: bool = False,
+    ) -> None:
         self.enabled = enabled
         self.metrics = MetricsRegistry(enabled=enabled)
         self.spans = SpanCollector(enabled=enabled)
+        self.profiler: Optional[Profiler] = (
+            Profiler(track_memory=profile_memory)
+            if enabled and (profile or profile_memory) else None
+        )
         self.events: List[dict] = []
         self.started_at = time.time()
 
@@ -80,6 +95,13 @@ _DISABLED = TelemetrySession(enabled=False)
 _session: TelemetrySession = _DISABLED
 
 
+def _install(session: TelemetrySession) -> None:
+    """Make ``session`` current and point the profile hooks at it."""
+    global _session
+    _session = session
+    set_active_profiler(session.profiler)
+
+
 def current_session() -> TelemetrySession:
     """The active session (the shared disabled one when telemetry is off)."""
     return _session
@@ -90,35 +112,36 @@ def telemetry_enabled() -> bool:
     return _session.enabled
 
 
-def enable_telemetry() -> TelemetrySession:
-    """Install and return a fresh live session."""
-    global _session
-    _session = TelemetrySession(enabled=True)
+def enable_telemetry(
+    *, profile: bool = False, profile_memory: bool = False,
+) -> TelemetrySession:
+    """Install and return a fresh live session (optionally profiling)."""
+    _install(TelemetrySession(
+        enabled=True, profile=profile, profile_memory=profile_memory))
     get_logger("obs").debug("telemetry enabled")
     return _session
 
 
 def disable_telemetry() -> None:
     """Return to the shared disabled session."""
-    global _session
-    _session = _DISABLED
+    _install(_DISABLED)
 
 
 @contextlib.contextmanager
-def telemetry_session():
+def telemetry_session(*, profile: bool = False, profile_memory: bool = False):
     """Enable telemetry for a ``with`` block, restoring the previous session.
 
     Yields the fresh live session; embedders and tests use this to scope
     collection without touching global state by hand.
     """
-    global _session
     previous = _session
-    fresh = TelemetrySession(enabled=True)
-    _session = fresh
+    fresh = TelemetrySession(
+        enabled=True, profile=profile, profile_memory=profile_memory)
+    _install(fresh)
     try:
         yield fresh
     finally:
-        _session = previous
+        _install(previous)
 
 
 # -- call-site helpers (hot-path friendly) -------------------------------------

@@ -62,6 +62,39 @@ class TestParser:
         args = build_parser().parse_args(["telemetry", "runs/", "--metrics"])
         assert args.path == "runs/"
         assert args.metrics
+        assert args.format == "table"
+
+    def test_telemetry_format_choices(self):
+        for fmt in ("table", "json", "csv", "prom"):
+            args = build_parser().parse_args(
+                ["telemetry", "runs/", "--format", fmt])
+            assert args.format == fmt
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry", "runs/", "--format", "xml"])
+
+    def test_bench_args(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--select", "fractal,core",
+             "--threshold", "0.5", "--repeats", "2", "--no-memory"])
+        assert args.quick
+        assert args.select == "fractal,core"
+        assert args.threshold == 0.5
+        assert args.repeats == 2
+        assert args.no_memory
+        defaults = build_parser().parse_args(["bench"])
+        assert defaults.out == "benchmarks/results"
+        assert defaults.threshold == 0.25
+        assert not defaults.quick
+
+    def test_perf_profile_flags_on_every_command(self):
+        for base in (["simulate", "--out", "x.csv"],
+                     ["analyze", "t.csv"],
+                     ["validate"],
+                     ["campaign"],
+                     ["bench"]):
+            args = build_parser().parse_args(base + ["--perf-profile"])
+            assert args.perf_profile
+            assert not args.perf_memory
 
 
 class TestCommands:
@@ -186,3 +219,130 @@ class TestTelemetryCli:
         assert code == 0
         manifest = json.loads((out / "manifest.json").read_text())
         assert manifest["config"]["profile"] == "webserver"
+
+    def test_telemetry_format_json(self, run_dir, capsys):
+        code = main(["telemetry", str(run_dir), "--format", "json"])
+        assert code == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["command"] == "simulate"
+        assert records[0]["metrics"]["sim.events_fired.value"] > 0
+
+    def test_telemetry_format_csv(self, run_dir, capsys):
+        code = main(["telemetry", str(run_dir), "--format", "csv"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "run,command,seed,metric,value"
+        assert any("run.wall_seconds" in line for line in lines[1:])
+
+    def test_telemetry_format_prom(self, run_dir, capsys):
+        code = main(["telemetry", str(run_dir), "--format", "prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_sim_events_fired counter" in out
+        assert "repro_sim_events_fired_total" in out
+        assert out.endswith("# EOF\n")
+
+    def test_failing_run_still_writes_error_manifest(self, tmp_path, capsys):
+        out = tmp_path / "failed-run"
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "nope.csv"),
+                  "--telemetry-out", str(out)])
+        assert not obs.telemetry_enabled()  # session still torn down
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["outcome"]["status"] == "error"
+        assert manifest["outcome"]["error"]["type"] == "FileNotFoundError"
+        assert manifest["outcome"]["exit_code"] is None
+
+    def test_perf_profile_into_manifest(self, tmp_path):
+        out = tmp_path / "profiled"
+        code = main(["simulate", "--seed", "5", "--max-seconds", "3000",
+                     "--telemetry-out", str(out), "--perf-profile"])
+        assert code == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        hotpaths = manifest["profile"]["hotpaths"]
+        assert "memsim.machine_run" in hotpaths
+        assert "simkernel.run_until" in hotpaths
+        assert hotpaths["memsim.machine_run"]["calls"] == 1
+
+    def test_perf_profile_prints_table_without_manifest(self, tmp_path, capsys):
+        code = main(["simulate", "--seed", "5", "--max-seconds", "2000",
+                     "--out", str(tmp_path / "t.csv"), "--perf-profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Hot-path profile" in out
+        assert "memsim.machine_run" in out
+
+
+class TestBenchCli:
+    def test_list_mode(self, capsys):
+        code = main(["bench", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Benchmark suite" in out
+        assert "fractal.mfdfa" in out
+
+    def test_quick_run_writes_trajectory(self, tmp_path, capsys):
+        code = main(["bench", "--quick", "--select", "fractal.mfdfa",
+                     "--repeats", "1", "--no-memory",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "no baseline" in out
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        assert payload["schema"] == "repro.bench-trajectory/1"
+        assert payload["quick"] is True
+        assert "fractal.mfdfa" in payload["results"]
+
+    def test_second_run_compares_against_first(self, tmp_path, capsys):
+        from repro.obs import bench
+
+        argv = ["bench", "--quick", "--select", "core.holder",
+                "--repeats", "1", "--no-memory", "--out", str(tmp_path)]
+        assert main(argv) == 0
+        first = bench.find_baseline(tmp_path, quick=True)
+        # Back-date the first file so the second gets a distinct name.
+        payload = json.loads(open(first).read())
+        payload["created_at"] = "2000-01-01T00:00:00+00:00"
+        (tmp_path / "BENCH_20000101_oldsha1.json").write_text(
+            json.dumps(payload))
+        import os
+        os.remove(first)
+        capsys.readouterr()
+        # Generous threshold: same machine, same workload, must pass.
+        assert main(argv + ["--threshold", "3.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Perf trajectory vs baseline" in out
+        assert "no regressions" in out
+
+    def test_regression_fails_run(self, tmp_path, capsys):
+        # A baseline claiming the workload once took ~0 seconds forces
+        # every ratio past any threshold.
+        from repro.obs import bench
+
+        argv = ["bench", "--quick", "--select", "core.holder",
+                "--repeats", "1", "--no-memory", "--out", str(tmp_path)]
+        assert main(argv) == 0
+        path = bench.find_baseline(tmp_path, quick=True)
+        payload = json.loads(open(path).read())
+        for record in payload["results"].values():
+            record["wall_best"] = 1e-9
+        payload["created_at"] = "2000-01-01T00:00:00+00:00"
+        (tmp_path / "BENCH_20000101_oldsha1.json").write_text(
+            json.dumps(payload))
+        import os
+        os.remove(path)
+        capsys.readouterr()
+        assert main(argv + ["--no-normalize"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_no_compare_skips_baseline(self, tmp_path, capsys):
+        argv = ["bench", "--quick", "--select", "core.holder",
+                "--repeats", "1", "--no-memory", "--no-compare",
+                "--out", str(tmp_path)]
+        assert main(argv) == 0
+        assert main(argv) == 0  # second run: still no comparison attempted
+        out = capsys.readouterr().out
+        assert "Perf trajectory" not in out

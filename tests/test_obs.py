@@ -55,6 +55,41 @@ class TestMetricsRegistry:
         assert snap["max"] == 3.0
         assert snap["mean"] == pytest.approx(2.0)
 
+    def test_histogram_quantiles(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1000):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["p50"] == pytest.approx(499.5)
+        assert snap["p90"] == pytest.approx(899.1)
+        assert snap["p99"] == pytest.approx(989.01)
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) == 999.0
+
+    def test_histogram_quantile_validation(self):
+        h = MetricsRegistry().histogram("lat")
+        with pytest.raises(ValidationError):
+            h.quantile(1.5)
+        import math
+        assert math.isnan(h.quantile(0.5))  # empty histogram
+        assert h.snapshot()["p50"] is None
+
+    def test_histogram_reservoir_decimates_deterministically(self):
+        h = MetricsRegistry().histogram("big")
+        n = 3 * h.RESERVOIR_CAP
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        # Decimated but still statistically faithful on a uniform ramp.
+        assert h.quantile(0.5) == pytest.approx(n / 2, rel=0.01)
+        assert h.quantile(0.9) == pytest.approx(0.9 * n, rel=0.01)
+        # Same stream twice -> identical reservoir (no RNG involved).
+        h2 = MetricsRegistry().histogram("big")
+        for v in range(n):
+            h2.observe(float(v))
+        assert h2.quantile(0.5) == h.quantile(0.5)
+        assert h2.quantile(0.99) == h.quantile(0.99)
+
     def test_timer_observes_duration(self):
         t = MetricsRegistry().timer("stage")
         with t:

@@ -1,0 +1,216 @@
+"""Tests for the benchmark harness and perf trajectory files (repro.obs.bench)."""
+
+import json
+import re
+
+import pytest
+
+from repro.exceptions import TraceError, ValidationError
+from repro.obs import bench
+
+
+def _payload(*, quick=True, calibration=0.010, created_at="2026-08-06T10:00:00+00:00",
+             sha="abcdef123456", **walls):
+    """A minimal schema-valid trajectory payload with the given wall times."""
+    results = {
+        name: {
+            "group": name.split(".")[0],
+            "description": name,
+            "repeats": 3,
+            "n_samples": 1000,
+            "wall_best": wall,
+            "wall_mean": wall * 1.1,
+            "cpu_best": wall,
+            "samples_per_sec": 1000 / wall,
+            "mem_peak_bytes": 1024,
+        }
+        for name, wall in walls.items()
+    }
+    return {
+        "schema": bench.BENCH_SCHEMA,
+        "created_at": created_at,
+        "quick": quick,
+        "repeats": 3,
+        "environment": {"git_sha": sha, "calibration_seconds": calibration},
+        "results": results,
+    }
+
+
+class TestSuiteShape:
+    REQUIRED_HOT_PATHS = {
+        "memsim.fleet",      # fleet simulation
+        "core.holder",       # Hölder trajectory
+        "fractal.wtmm",      # WTMM spectrum
+        "fractal.mfdfa",     # MF-DFA
+        "fractal.sliding",   # sliding spectrum
+        "core.pipeline",     # full analyze pipeline
+    }
+
+    def test_covers_required_hot_paths(self):
+        assert self.REQUIRED_HOT_PATHS <= set(bench.case_names())
+        assert len(bench.SUITE) >= 6
+
+    def test_select_by_substring(self):
+        chosen = bench.select_cases(["fractal"])
+        assert {c.name for c in chosen} == {
+            "fractal.wtmm", "fractal.mfdfa",
+            "fractal.sliding", "fractal.wavelets",
+        }
+        assert [c.name for c in bench.select_cases(None)] == bench.case_names()
+
+    def test_select_no_match_rejected(self):
+        with pytest.raises(ValidationError):
+            bench.select_cases(["no-such-bench"])
+
+
+class TestRunCase:
+    def test_record_fields(self):
+        case = next(c for c in bench.SUITE if c.name == "fractal.mfdfa")
+        record = bench.run_case(case, quick=True, repeats=2)
+        assert record["repeats"] == 2
+        assert record["n_samples"] == 4096
+        assert 0.0 < record["wall_best"] <= record["wall_mean"]
+        assert record["cpu_best"] > 0.0
+        assert record["samples_per_sec"] == pytest.approx(
+            record["n_samples"] / record["wall_best"])
+        assert record["mem_peak_bytes"] > 0
+        json.dumps(record)
+
+    def test_memory_pass_optional(self):
+        case = next(c for c in bench.SUITE if c.name == "core.holder")
+        record = bench.run_case(case, quick=True, repeats=1,
+                                track_memory=False)
+        assert record["mem_peak_bytes"] is None
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ValidationError):
+            bench.run_case(bench.SUITE[0], repeats=0)
+
+
+class TestTrajectoryFiles:
+    def test_filename_pattern(self):
+        payload = _payload(**{"fractal.mfdfa": 0.01})
+        name = bench.bench_filename(payload)
+        assert name == "BENCH_20260806_abcdef1.json"
+        assert re.fullmatch(r"BENCH_\d{8}_[0-9a-f]{7}\.json", name)
+
+    def test_write_read_round_trip(self, tmp_path):
+        payload = _payload(**{"fractal.mfdfa": 0.01, "core.holder": 0.02})
+        path = bench.write_bench_file(payload, tmp_path)
+        assert bench.read_bench_file(path) == payload
+
+    def test_read_rejects_bad_schema(self, tmp_path):
+        bad = tmp_path / "BENCH_x.json"
+        bad.write_text(json.dumps({"schema": "bogus/1"}))
+        with pytest.raises(TraceError):
+            bench.read_bench_file(bad)
+        bad.write_text("{not json")
+        with pytest.raises(TraceError):
+            bench.read_bench_file(bad)
+
+    def test_find_baseline_newest_matching(self, tmp_path):
+        old = _payload(created_at="2026-08-01T00:00:00+00:00", sha="aaaaaaa",
+                       **{"x.y": 0.01})
+        new = _payload(created_at="2026-08-05T00:00:00+00:00", sha="bbbbbbb",
+                       **{"x.y": 0.01})
+        full = _payload(quick=False, created_at="2026-08-06T00:00:00+00:00",
+                        sha="ccccccc", **{"x.y": 0.01})
+        for p in (old, new, full):
+            bench.write_bench_file(p, tmp_path)
+        found = bench.find_baseline(tmp_path, quick=True)
+        assert found is not None and "bbbbbbb" in found
+        found_full = bench.find_baseline(tmp_path, quick=False)
+        assert found_full is not None and "ccccccc" in found_full
+
+    def test_find_baseline_excludes_current(self, tmp_path):
+        payload = _payload(**{"x.y": 0.01})
+        path = bench.write_bench_file(payload, tmp_path)
+        assert bench.find_baseline(tmp_path, quick=True, exclude=path) is None
+        assert bench.find_baseline(tmp_path, quick=True) == path
+
+    def test_find_baseline_direct_file_and_missing(self, tmp_path):
+        payload = _payload(**{"x.y": 0.01})
+        path = bench.write_bench_file(payload, tmp_path)
+        assert bench.find_baseline(path) == path
+        assert bench.find_baseline(tmp_path / "nope") is None
+        assert bench.find_baseline(tmp_path / "empty") is None
+
+
+class TestCompare:
+    def test_regression_flagged_past_threshold(self):
+        base = _payload(**{"a.b": 0.010, "c.d": 0.010})
+        cur = _payload(**{"a.b": 0.014, "c.d": 0.010})  # +40% vs 25% budget
+        cmp = bench.compare_runs(base, cur, threshold=0.25)
+        assert cmp["regressions"] == ["a.b"]
+        by_name = {r["name"]: r for r in cmp["rows"]}
+        assert by_name["a.b"]["status"] == "REGRESSION"
+        assert by_name["a.b"]["ratio"] == pytest.approx(1.4)
+        assert by_name["c.d"]["status"] == "ok"
+
+    def test_improvement_and_new_cases(self):
+        base = _payload(**{"a.b": 0.010})
+        cur = _payload(**{"a.b": 0.005, "e.f": 0.020})
+        cmp = bench.compare_runs(base, cur, threshold=0.25)
+        by_name = {r["name"]: r for r in cmp["rows"]}
+        assert by_name["a.b"]["status"] == "improved"
+        assert by_name["e.f"]["status"] == "new"
+        assert by_name["e.f"]["ratio"] is None
+        assert cmp["regressions"] == []
+
+    def test_calibration_normalization(self):
+        # Baseline machine twice as fast (calibration 5ms vs current 10ms):
+        # current wall of 20ms vs baseline 10ms is expected hardware
+        # slowdown, not a code regression.
+        base = _payload(calibration=0.005, **{"a.b": 0.010})
+        cur = _payload(calibration=0.010, **{"a.b": 0.020})
+        cmp = bench.compare_runs(base, cur, threshold=0.25)
+        assert cmp["calibration_scale"] == pytest.approx(2.0)
+        assert cmp["regressions"] == []
+        unnorm = bench.compare_runs(base, cur, threshold=0.25, normalize=False)
+        assert unnorm["regressions"] == ["a.b"]
+
+    def test_quick_full_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            bench.compare_runs(_payload(quick=True, **{"a.b": 0.01}),
+                               _payload(quick=False, **{"a.b": 0.01}))
+
+    def test_bad_threshold_rejected(self):
+        p = _payload(**{"a.b": 0.01})
+        with pytest.raises(ValidationError):
+            bench.compare_runs(p, p, threshold=0.0)
+
+    def test_render_comparison_names_regressions(self):
+        base = _payload(**{"a.b": 0.010})
+        cur = _payload(**{"a.b": 0.020})
+        text = bench.render_comparison(
+            bench.compare_runs(base, cur), baseline_path="BENCH_old.json")
+        assert "REGRESSION" in text
+        assert "a.b" in text
+        assert "BENCH_old.json" in text
+        ok = bench.render_comparison(bench.compare_runs(base, base))
+        assert "no regressions" in ok
+
+
+class TestRunSuite:
+    def test_quick_selected_suite_payload(self, tmp_path):
+        seen = []
+        payload = bench.run_suite(
+            quick=True, repeats=1, select=["fractal.mfdfa", "core.holder"],
+            track_memory=False,
+            progress=lambda name, rec: seen.append(name),
+        )
+        assert payload["schema"] == bench.BENCH_SCHEMA
+        assert payload["quick"] is True
+        assert seen == ["core.holder", "fractal.mfdfa"]
+        assert set(payload["results"]) == {"core.holder", "fractal.mfdfa"}
+        env = payload["environment"]
+        assert env["calibration_seconds"] > 0
+        assert env["python"] and env["numpy"]
+        path = bench.write_bench_file(payload, tmp_path)
+        assert bench.read_bench_file(path)["results"] == payload["results"]
+
+    def test_environment_fingerprint_fields(self):
+        env = bench.environment_fingerprint()
+        for key in ("repro", "python", "numpy", "platform", "machine",
+                    "cpu_count", "git_sha", "calibration_seconds"):
+            assert key in env
