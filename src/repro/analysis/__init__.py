@@ -17,6 +17,7 @@ from .campaign import (
     ExperimentSpec,
     RunRecord,
     CellResult,
+    cells_payload,
     run_campaign,
 )
 from .results import save_results, load_results, results_table
@@ -25,6 +26,7 @@ __all__ = [
     "ExperimentSpec",
     "RunRecord",
     "CellResult",
+    "cells_payload",
     "run_campaign",
     "save_results",
     "load_results",

@@ -113,9 +113,14 @@ class CellResult:
 
     @property
     def median_lead(self) -> float:
-        """Median lead over detected crashes (NaN when none)."""
+        """Median lead over detected crashes (NaN when none).
+
+        Zero-lead detections (alarm at the crash instant) count: the
+        detector *did* fire, it just bought no time, and dropping them
+        would bias the median optimistic.
+        """
         leads = [r.lead_time for r in self.runs
-                 if r.lead_time is not None and r.lead_time > 0]
+                 if r.lead_time is not None and r.lead_time >= 0]
         return float(np.median(leads)) if leads else float("nan")
 
 
@@ -177,6 +182,41 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
               false_alarms=false_alarms)
     return CellResult(spec=spec, runs=records, outcome=outcome,
                       false_alarms=false_alarms)
+
+
+def cells_payload(results: Dict[str, CellResult]) -> Dict[str, dict]:
+    """JSON-able per-cell summary, rich enough to rebuild detection-quality
+    dashboards from a run manifest alone (no trace or results file needed).
+
+    This is the shape ``cmd_campaign`` stores under ``outcome.cells`` and
+    :func:`repro.obs.dashboard.render_campaign_dashboard` consumes.
+    """
+    payload: Dict[str, dict] = {}
+    for name, cell in results.items():
+        median = cell.median_lead
+        payload[name] = {
+            "scenario": cell.spec.scenario,
+            "profile": cell.spec.profile,
+            "fault_factor": cell.spec.fault_factor,
+            "runs": [
+                {
+                    "seed": r.seed,
+                    "crashed": r.crashed,
+                    "crash_time": r.crash_time,
+                    "alarm_time": r.alarm_time,
+                    "lead_time": r.lead_time,
+                    "duration": r.duration,
+                }
+                for r in cell.runs
+            ],
+            "crashed": cell.n_crashed,
+            "detected": cell.outcome.n_detected if cell.outcome else 0,
+            "missed": cell.outcome.n_missed if cell.outcome else 0,
+            "median_lead": None if np.isnan(median) else median,
+            "false_alarms": cell.false_alarms,
+            "lead_times": list(cell.outcome.lead_times) if cell.outcome else [],
+        }
+    return payload
 
 
 def run_campaign(specs: List[ExperimentSpec]) -> Dict[str, CellResult]:

@@ -42,6 +42,26 @@ Four subcommands covering the library's main workflows:
     against the latest baseline (regressions fail the run)::
 
         python -m repro bench --quick --out benchmarks/results
+        python -m repro bench --list        # table of archived trajectories
+
+``watch``
+    Watch a live simulation (or a replayed trace CSV) with the online
+    aging monitor: stream schema-versioned JSONL events (samples,
+    indicator points, detector transitions, alarms, alert-rule firings,
+    status heartbeats, crash/end), optionally under declarative alert
+    rules from a TOML/JSON file::
+
+        python -m repro watch --scenario stress --seed 7 \\
+            --alerts rules.toml --events out.jsonl
+        python -m repro watch --trace run.csv --events out.jsonl
+
+``dashboard``
+    Render a self-contained HTML dashboard (inline SVG, no external
+    resources) from a watch event stream, or a campaign
+    detection-quality dashboard from run-manifest directories::
+
+        python -m repro dashboard out.jsonl -o report.html
+        python -m repro dashboard runs/ -o campaign.html
 
 Every workload subcommand additionally accepts ``--log-level
 {debug,info,warning,error,off}`` (structured log lines on stderr),
@@ -121,6 +141,9 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--base-seed", type=int, default=1)
     camp.add_argument("--max-seconds", type=float, default=60_000.0)
     camp.add_argument("--out", default=None, help="optional JSON output path")
+    camp.add_argument("--dashboard", default=None, metavar="HTML",
+                      help="also render the detection-quality dashboard "
+                           "to this HTML file")
 
     tel = sub.add_parser("telemetry", parents=[common],
                          help="summarise or export run manifests")
@@ -162,7 +185,62 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the trajectory file without comparing "
                           "against a baseline")
     ben.add_argument("--list", action="store_true",
-                     help="list the benchmark suite and exit")
+                     help="list archived BENCH_*.json trajectory files "
+                          "(date, sha, mode, per-case best wall) and exit")
+    ben.add_argument("--list-cases", action="store_true",
+                     help="list the benchmark suite's cases and exit")
+
+    wat = sub.add_parser("watch", parents=[common],
+                         help="live online-monitor watch over a simulation "
+                              "or replayed trace")
+    src = wat.add_mutually_exclusive_group()
+    src.add_argument("--scenario", choices=SCENARIO_NAMES, default=None,
+                     help="run and watch a live scenario simulation "
+                          "(default: stress)")
+    src.add_argument("--trace", default=None, metavar="CSV",
+                     help="replay a recorded trace CSV instead of simulating")
+    wat.add_argument("--profile", choices=_SIM_PROFILES, default="nt4")
+    wat.add_argument("--seed", type=int, default=7)
+    wat.add_argument("--max-seconds", type=float, default=80_000.0)
+    wat.add_argument("--fault-factor", type=float, default=1.0)
+    wat.add_argument("--counter", default="AvailableBytes")
+    wat.add_argument("--alerts", default=None, metavar="RULES",
+                     help="alert rules file (.toml or .json)")
+    wat.add_argument("--events", default=None, metavar="JSONL",
+                     help="write the watch event stream to this JSONL file")
+    wat.add_argument("--dashboard", default=None, metavar="HTML",
+                     help="render the run dashboard to this HTML file "
+                          "after the watch session")
+    wat.add_argument("--status-every", type=float, default=600.0,
+                     help="simulated seconds between status heartbeats "
+                          "(0 disables; default: %(default)s)")
+    wat.add_argument("--sample-every", type=int, default=4,
+                     help="record every Nth counter sample in the stream "
+                          "(0 = none; the monitor sees all; "
+                          "default: %(default)s)")
+    wat.add_argument("--chunk-size", type=int, default=128,
+                     help="monitor: recompute cadence in samples "
+                          "(default: %(default)s)")
+    wat.add_argument("--history", type=int, default=2048,
+                     help="monitor: rolling sample history "
+                          "(default: %(default)s)")
+    wat.add_argument("--indicator-window", type=int, default=512,
+                     help="monitor: Hölder window length "
+                          "(default: %(default)s)")
+    wat.add_argument("--calibration", type=int, default=10,
+                     help="monitor: indicator points used to calibrate "
+                          "the detector (default: %(default)s)")
+    wat.add_argument("--quiet", action="store_true",
+                     help="suppress live status lines on stdout")
+
+    dash = sub.add_parser("dashboard", parents=[common],
+                          help="render a self-contained HTML dashboard")
+    dash.add_argument("path",
+                      help="a watch-events JSONL file (run dashboard) or "
+                           "a manifest/run directory (campaign dashboard)")
+    dash.add_argument("-o", "--out", default="dashboard.html",
+                      help="output HTML path (default: %(default)s)")
+    dash.add_argument("--title", default=None, help="dashboard title")
     return parser
 
 
@@ -286,7 +364,13 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a two-cell campaign (aging vs healthy control) and report."""
-    from .analysis import ExperimentSpec, results_table, run_campaign, save_results
+    from .analysis import (
+        ExperimentSpec,
+        cells_payload,
+        results_table,
+        run_campaign,
+        save_results,
+    )
     from .report import render_table
 
     specs = [
@@ -313,14 +397,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.out:
         save_results(results, args.out)
         print(f"results -> {args.out}")
-    args._outcome.update(cells={
-        name: {
-            "runs": len(cell.runs),
-            "crashed": cell.n_crashed,
-            "false_alarms": cell.false_alarms,
-        }
-        for name, cell in results.items()
-    })
+    # Per-run records ride along in the manifest so detection-quality
+    # dashboards can be rebuilt from telemetry archives alone.
+    args._outcome.update(cells=cells_payload(results))
+    if args.dashboard:
+        from .obs.dashboard import render_campaign_dashboard, write_dashboard
+
+        path = write_dashboard(
+            render_campaign_dashboard(cells=args._outcome["cells"]),
+            args.dashboard,
+        )
+        print(f"dashboard -> {path}")
     return 0
 
 
@@ -397,11 +484,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .obs import bench
     from .report import render_table
 
-    if args.list:
+    if args.list_cases:
         print(render_table(
             ["name", "group", "description"],
             [[c.name, c.group, c.description] for c in bench.SUITE],
             title="Benchmark suite",
+        ))
+        return 0
+    if args.list:
+        records = bench.list_bench_files(args.out)
+        if not records:
+            print(f"no {bench.BENCH_PREFIX}*.json trajectory files "
+                  f"under {args.out}")
+            return 0
+        case_names = sorted({name for r in records for name in r["cases"]})
+        rows = []
+        for r in records:
+            rows.append(
+                [r["created_at"][:10], r["git_sha"],
+                 "quick" if r["quick"] else "full"]
+                + [r["cases"].get(name, float("nan")) for name in case_names])
+        print(render_table(
+            ["date", "sha", "mode"] + [f"{n}_s" for n in case_names],
+            rows,
+            title=f"Benchmark trajectories under {args.out} "
+                  f"({len(records)} file(s), best wall seconds)",
         ))
         return 0
 
@@ -445,6 +552,144 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 1 if comparison["regressions"] else 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Live watch: online monitor + alert rules over a stream of samples."""
+    import contextlib
+    import os
+
+    from .core.online import OnlineAgingMonitor
+    from .exceptions import ReproError
+    from .obs.alerts import AlertEngine, load_rules
+    from .obs.live import EventStreamWriter, LiveWatcher
+
+    monitor = OnlineAgingMonitor(
+        chunk_size=args.chunk_size,
+        history=args.history,
+        indicator_window=args.indicator_window,
+        n_calibration=args.calibration,
+    )
+    engine = None
+    if args.alerts:
+        try:
+            rules = load_rules(args.alerts)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        engine = AlertEngine(rules)
+        print(f"loaded {len(rules)} alert rule(s) from {args.alerts}")
+
+    def status_line(event: dict) -> None:
+        value = event.get("value")
+        shown = "-" if value is None else f"{value:,.0f}"
+        print(f"  [t={event['t']:>8,.0f}s] state={event['state']:<11s} "
+              f"samples={event['n_samples']:<7d} "
+              f"indicators={event['n_indicators']:<4d} "
+              f"alerts={event['alerts_fired']:<3d} {args.counter}={shown}")
+
+    keep_events = bool(args.dashboard)
+    if args.events:
+        parent = os.path.dirname(os.path.abspath(args.events))
+        os.makedirs(parent, exist_ok=True)
+    with contextlib.ExitStack() as stack:
+        handle = (stack.enter_context(open(args.events, "w"))
+                  if args.events else None)
+        writer = EventStreamWriter(handle, keep=keep_events or handle is None)
+        watcher = LiveWatcher(
+            monitor, writer=writer, engine=engine, counter=args.counter,
+            status_every=args.status_every, sample_every=args.sample_every,
+            on_status=None if args.quiet else status_line,
+        )
+        if args.trace is not None:
+            from .trace import read_csv
+
+            print(f"replaying {args.trace} ({args.counter})...")
+            try:
+                end = watcher.replay(read_csv(args.trace))
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            from .memsim.scenarios import build_scenario
+
+            scenario = args.scenario or "stress"
+            machine = build_scenario(
+                scenario, seed=args.seed, profile=args.profile,
+                max_run_seconds=args.max_seconds,
+                fault_factor=args.fault_factor,
+            )
+            print(f"watching {scenario}/{args.profile} seed={args.seed} "
+                  f"(budget {args.max_seconds:.0f}s)...")
+            watcher.attach(machine)
+            machine.run()
+            end = watcher.finalize()
+
+    state = end["state"]
+    if end["crash_time"] is not None:
+        crash = (f"crashed at t={end['crash_time']:,.0f}s "
+                 f"({end.get('crash_reason') or 'unknown'})")
+    else:
+        crash = "no crash"
+    if end["alarm_time"] is not None:
+        alarm = f"ALARM at t={end['alarm_time']:,.0f}s"
+        if end["lead_time"] is not None:
+            alarm += f" (lead {end['lead_time']:,.0f}s)"
+    else:
+        alarm = "no alarm"
+    print(f"watch finished: {alarm}; {crash}; detector state {state}; "
+          f"{end['n_samples']} samples, {end['n_indicators']} indicator "
+          f"points, {sum(end['alerts'].values())} alert firing(s)")
+    if args.events:
+        print(f"events -> {args.events} ({writer.n_events} events)")
+    if args.dashboard:
+        from .obs.dashboard import render_run_dashboard, write_dashboard
+
+        path = write_dashboard(
+            render_run_dashboard(writer.events), args.dashboard)
+        print(f"dashboard -> {path}")
+    args._outcome.update(
+        source="replay" if args.trace else (args.scenario or "stress"),
+        state=state,
+        alarm_time=end["alarm_time"],
+        crash_time=end["crash_time"],
+        lead_time=end["lead_time"],
+        n_samples=end["n_samples"],
+        alerts=end["alerts"],
+        events_file=args.events,
+    )
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render a run or campaign dashboard from archived artifacts."""
+    import os
+
+    from .exceptions import ReproError
+    from .obs import load_manifests
+    from .obs.dashboard import (
+        render_campaign_dashboard,
+        render_run_dashboard,
+        write_dashboard,
+    )
+    from .obs.live import read_events
+
+    try:
+        if os.path.isfile(args.path):
+            events = read_events(args.path)
+            html = render_run_dashboard(events, title=args.title)
+            flavor = f"run dashboard ({len(events)} events)"
+        else:
+            manifests = load_manifests(args.path)
+            html = render_campaign_dashboard(manifests, title=args.title)
+            flavor = f"campaign dashboard ({len(manifests)} manifest(s))"
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = write_dashboard(html, args.out)
+    print(f"{flavor} -> {path}")
+    args._outcome.update(dashboard=path)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -467,6 +712,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "campaign": cmd_campaign,
         "telemetry": cmd_telemetry,
         "bench": cmd_bench,
+        "watch": cmd_watch,
+        "dashboard": cmd_dashboard,
     }
     args._outcome = {}
     if getattr(args, "log_level", None):

@@ -20,8 +20,9 @@ default settings.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -58,6 +59,12 @@ class OnlineAgingMonitor:
         CUSUM allowance and decision threshold, in baseline sigmas.
     holder_kwargs:
         Extra arguments for :func:`repro.core.holder.wavelet_holder`.
+    on_indicator:
+        Optional callback ``(time, value)`` invoked for every indicator
+        point (live watchers stream these).
+    on_state_change:
+        Optional callback ``(time, old_state, new_state)`` invoked on
+        every :attr:`state` transition.
     """
 
     chunk_size: int = 256
@@ -69,6 +76,8 @@ class OnlineAgingMonitor:
     cusum_k: float = 1.5
     cusum_h: float = 8.0
     holder_kwargs: dict = field(default_factory=dict)
+    on_indicator: Optional[Callable[[float, float], None]] = None
+    on_state_change: Optional[Callable[[float, str, str], None]] = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.chunk_size, name="chunk_size", minimum=16)
@@ -78,6 +87,16 @@ class OnlineAgingMonitor:
         check_positive_int(self.n_calibration, name="n_calibration", minimum=4)
         if self.indicator_window > self.history:
             raise AnalysisError("indicator_window cannot exceed history")
+        # The Hölder estimator needs max_scale <= history / 4; catching a
+        # too-coarse scale band here fails construction instead of the
+        # first recomputation, thousands of samples into a live run.
+        max_scale = float(self.holder_kwargs.get("max_scale", 32.0))
+        if self.history < 4 * max_scale:
+            raise AnalysisError(
+                f"history ({self.history}) is shorter than the wavelet "
+                f"support: need at least 4 * max_scale = {4 * max_scale:.0f} "
+                f"samples"
+            )
         self._times: List[float] = []
         self._values: List[float] = []
         self._since_recompute = 0
@@ -105,6 +124,22 @@ class OnlineAgingMonitor:
         return self._detectors is not None
 
     @property
+    def state(self) -> str:
+        """Detector lifecycle state.
+
+        ``"buffering"`` (filling the first history window, no indicator
+        points yet) → ``"calibrating"`` (accumulating baseline points) →
+        ``"watching"`` (armed) → ``"alarmed"`` (latched).
+        """
+        if self.alarmed:
+            return "alarmed"
+        if self.calibrated:
+            return "watching"
+        if self._indicator_points:
+            return "calibrating"
+        return "buffering"
+
+    @property
     def n_samples(self) -> int:
         """Counter samples consumed so far."""
         return len(self._values)
@@ -114,21 +149,42 @@ class OnlineAgingMonitor:
         """All indicator points produced so far (diagnostics)."""
         return np.asarray(self._indicator_points)
 
+    @property
+    def indicator_times(self) -> np.ndarray:
+        """Sample times of the indicator points (diagnostics)."""
+        return np.asarray(self._indicator_times)
+
+    @property
+    def baseline_mean(self) -> float:
+        """Calibrated baseline mean (NaN before calibration)."""
+        return self._baseline_mean
+
     # -- feeding ---------------------------------------------------------------
 
     def update(self, time: float, value: float) -> bool:
         """Push one counter sample; returns True when the alarm is up."""
+        time = float(time)
+        value = float(value)
+        if not math.isfinite(time) or not math.isfinite(value):
+            raise AnalysisError(
+                f"samples must be finite (got t={time}, value={value}); "
+                "drop or impute collector gaps before feeding the monitor"
+            )
         if self._times and time <= self._times[-1]:
             raise AnalysisError(
                 f"samples must arrive in time order ({time} after {self._times[-1]})"
             )
-        self._times.append(float(time))
-        self._values.append(float(value))
+        before = self.state
+        self._times.append(time)
+        self._values.append(value)
         self._since_recompute += 1
         if (self._since_recompute >= self.chunk_size
                 and len(self._values) >= self.history):
             self._since_recompute = 0
             self._emit_indicator_point()
+        after = self.state
+        if after != before and self.on_state_change is not None:
+            self.on_state_change(time, before, after)
         return self.alarmed
 
     def update_many(self, times, values) -> bool:
@@ -148,6 +204,8 @@ class OnlineAgingMonitor:
         self._indicator_points.append(point)
         self._indicator_times.append(self._times[-1])
         _obs.counter("online.indicator_points").inc()
+        if self.on_indicator is not None:
+            self.on_indicator(self._times[-1], point)
 
         usable = len(self._indicator_points) - self.n_warmup
         if usable == self.n_calibration and self._detectors is None:

@@ -122,6 +122,28 @@ class Machine:
         self._preload_chunks = 20
         self._preload_release_span = 2.0 * max(w.hold_time, w.session_lifetime)
 
+    # -- live state (readable during the run by in-sim observers) ---------------
+
+    @property
+    def crashed(self) -> bool:
+        """True once the host has died (readable mid-run)."""
+        return self._crash_time is not None
+
+    @property
+    def crash_time(self) -> Optional[float]:
+        """Simulated time of death, or None while alive."""
+        return self._crash_time
+
+    @property
+    def crash_reason(self) -> Optional[str]:
+        """``"commit"`` or ``"pool"`` once dead/doomed, else None."""
+        return self._crash_reason
+
+    @property
+    def first_failure_time(self) -> Optional[float]:
+        """Time of the first allocation failure (grace-window start)."""
+        return self._first_failure_time
+
     # -- crash handling ---------------------------------------------------------
 
     def _note_failure(self, reason: str) -> None:

@@ -111,6 +111,20 @@ class CounterSampler(PeriodicProcess):
             raise TraceError(f"unknown counter {counter!r}")
         return self._times[counter], self._values[counter]
 
+    def read_since(self, counter: str, cursor: int) -> tuple[list, list, int]:
+        """Samples of ``counter`` collected after position ``cursor``.
+
+        The tailing primitive for live observers: returns
+        ``(new_times, new_values, new_cursor)``, where feeding the
+        returned cursor back yields only samples collected in between.
+        """
+        times, values = self.samples_of(counter)
+        if cursor < 0:
+            from ..exceptions import TraceError
+
+            raise TraceError(f"cursor must be non-negative, got {cursor}")
+        return times[cursor:], values[cursor:], len(times)
+
     def to_bundle(self, metadata: Dict[str, float | str]) -> TraceBundle:
         """Freeze the collected samples into a :class:`TraceBundle`."""
         bundle = TraceBundle(metadata=dict(metadata))

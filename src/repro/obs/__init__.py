@@ -22,6 +22,16 @@ DESIGN.md).  Seven pieces, composable but independently usable:
 * :mod:`repro.obs.bench` — the ``python -m repro bench`` harness:
   curated hot-path microbenchmarks, versioned ``BENCH_*.json``
   perf-trajectory files, and baseline regression comparison.
+* :mod:`repro.obs.live` — live watch sessions: the versioned
+  ``repro.watch-events/1`` JSONL event stream and the
+  :class:`LiveWatcher` that attaches an online aging monitor (plus
+  alert rules) to a running machine or a replayed trace.
+* :mod:`repro.obs.alerts` — the declarative alert-rule engine
+  (threshold / rate-of-change / sustained-excursion rules over any
+  counter or indicator, loaded from TOML/JSON).
+* :mod:`repro.obs.dashboard` — self-contained HTML dashboards (inline
+  SVG, no external resources) for one watch stream or a whole campaign
+  of run manifests.
 
 Library code is instrumented against the *current telemetry session*
 (:mod:`repro.obs.session`); the default session is disabled, so imports
@@ -84,6 +94,22 @@ from .export import (
     manifests_to_json,
     manifests_to_prometheus,
     session_to_prometheus,
+    watch_events_to_prometheus,
+)
+from .alerts import (
+    AlertEngine,
+    AlertFiring,
+    AlertRule,
+    load_rules,
+    parse_rules,
+)
+from .live import (
+    WATCH_SCHEMA,
+    EventStreamWriter,
+    LiveWatcher,
+    read_events,
+    validate_event,
+    validate_stream,
 )
 
 __all__ = [
@@ -138,4 +164,18 @@ __all__ = [
     "manifests_to_csv",
     "manifests_to_prometheus",
     "session_to_prometheus",
+    "watch_events_to_prometheus",
+    # alert rules
+    "AlertRule",
+    "AlertFiring",
+    "AlertEngine",
+    "parse_rules",
+    "load_rules",
+    # live watch streams
+    "WATCH_SCHEMA",
+    "EventStreamWriter",
+    "LiveWatcher",
+    "read_events",
+    "validate_event",
+    "validate_stream",
 ]

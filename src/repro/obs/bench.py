@@ -52,6 +52,7 @@ __all__ = [
     "environment_fingerprint",
     "write_bench_file",
     "read_bench_file",
+    "list_bench_files",
     "find_baseline",
     "compare_runs",
     "render_comparison",
@@ -428,6 +429,46 @@ def read_bench_file(path: str | os.PathLike) -> dict:
             f"unsupported bench schema in {path} (expected {BENCH_SCHEMA!r})"
         )
     return payload
+
+
+def list_bench_files(path: str | os.PathLike) -> List[dict]:
+    """Summarise every readable ``BENCH_*.json`` under ``path``.
+
+    Accepts a directory (scans for trajectory files) or a single file.
+    Unreadable or foreign-schema files are skipped, not fatal — the
+    directory may mix artifacts from several tool versions.  Returns one
+    record per file, oldest first: path, creation date, git sha, quick
+    flag and the per-case best wall times.
+    """
+    path = os.fspath(path)
+    if os.path.isdir(path):
+        entries = [
+            os.path.join(path, name) for name in sorted(os.listdir(path))
+            if name.startswith(BENCH_PREFIX) and name.endswith(".json")
+        ]
+    elif os.path.isfile(path):
+        entries = [path]
+    else:
+        entries = []
+    records: List[dict] = []
+    for full in entries:
+        try:
+            payload = read_bench_file(full)
+        except (TraceError, OSError):
+            continue
+        records.append({
+            "path": full,
+            "created_at": payload.get("created_at", ""),
+            "git_sha": (payload.get("environment", {}).get("git_sha")
+                        or "unknown")[:7],
+            "quick": bool(payload.get("quick")),
+            "cases": {
+                name: record.get("wall_best")
+                for name, record in payload.get("results", {}).items()
+            },
+        })
+    records.sort(key=lambda r: r["created_at"])
+    return records
 
 
 def find_baseline(

@@ -1,0 +1,745 @@
+"""Self-contained HTML dashboards for watch streams and campaigns.
+
+Two renderers, both producing a single HTML file with **no external
+resources** — styling is an embedded stylesheet, charts are inline SVG,
+interactivity is a small embedded script — so a dashboard can be
+attached to a CI run, mailed, or opened from disk years later:
+
+* :func:`render_run_dashboard` — one watch session from its
+  ``repro.watch-events/1`` stream: KPI tiles (detector state, alarm /
+  crash / lead times, alert count), the counter trajectory and the
+  Hölder-indicator trajectory as line charts with alarm, crash and
+  alert-rule markers, and the full alert table.
+* :func:`render_campaign_dashboard` — a whole campaign aggregated from
+  run manifests alone: per-cell detection rate, the lead-time
+  distribution as a strip plot, and the false-alarm table.
+
+Series with many thousands of samples are decimated per x-bucket to
+(min, max) pairs before plotting, so excursions survive while the SVG
+stays small.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import TraceError, ValidationError
+
+__all__ = [
+    "render_run_dashboard",
+    "render_campaign_dashboard",
+    "campaign_cells_from_manifests",
+    "write_dashboard",
+]
+
+
+# -- generic plumbing ----------------------------------------------------------
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _fmt(value: Optional[float], unit: str = "") -> str:
+    """Compact human figure: 1,284 / 12.9K / 4.2M / 1.3G."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "—"
+    number = float(value)
+    for divisor, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(number) >= divisor:
+            return f"{number / divisor:.1f}{suffix}{unit}"
+    if number == int(number):
+        return f"{int(number):,}{unit}"
+    return f"{number:.3g}{unit}"
+
+
+def _fmt_time(seconds: Optional[float]) -> str:
+    if seconds is None or (isinstance(seconds, float) and math.isnan(seconds)):
+        return "—"
+    return f"{float(seconds):,.0f}s"
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Clean-number axis ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(n - 1, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = mult * magnitude
+        if step >= raw:
+            break
+    start = math.ceil(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + 1e-9 * step:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks or [lo, hi]
+
+
+def _decimate(times: Sequence[float], values: Sequence[float],
+              max_buckets: int = 420) -> Tuple[List[float], List[float]]:
+    """Per-bucket (min, max) decimation preserving excursions."""
+    n = len(times)
+    if n <= 2 * max_buckets:
+        return list(times), list(values)
+    out_t: List[float] = []
+    out_v: List[float] = []
+    per = n / max_buckets
+    for b in range(max_buckets):
+        i0, i1 = int(b * per), min(int((b + 1) * per), n)
+        if i0 >= i1:
+            continue
+        chunk_v = values[i0:i1]
+        chunk_t = times[i0:i1]
+        lo = min(range(len(chunk_v)), key=chunk_v.__getitem__)
+        hi = max(range(len(chunk_v)), key=chunk_v.__getitem__)
+        for j in sorted({lo, hi}):
+            out_t.append(chunk_t[j])
+            out_v.append(chunk_v[j])
+    return out_t, out_v
+
+
+# -- SVG line chart ------------------------------------------------------------
+
+_CHART_W, _CHART_H = 860, 240
+_PAD_L, _PAD_R, _PAD_T, _PAD_B = 64, 16, 18, 30
+
+
+class _Marker:
+    """A labelled vertical time marker (alarm, crash, alert firing)."""
+
+    def __init__(self, t: float, label: str, css: str, *, dot: bool = False,
+                 title: str = "") -> None:
+        self.t = t
+        self.label = label
+        self.css = css
+        self.dot = dot        # tick on the baseline instead of a full line
+        self.title = title or label
+
+
+def _line_chart(
+    chart_id: str,
+    title: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    *,
+    series_css: str = "s1",
+    y_format: str = "si",
+    markers: Sequence[_Marker] = (),
+    baseline: Optional[float] = None,
+    baseline_label: str = "",
+    x_max: Optional[float] = None,
+) -> str:
+    """One single-series line chart with time markers, as an HTML block."""
+    if not times:
+        return (f'<figure class="chart"><figcaption>{_esc(title)}'
+                f'</figcaption><p class="empty">no data</p></figure>')
+    dt, dv = _decimate(list(times), list(values))
+    x_lo, x_hi = float(min(dt)), float(max(dt))
+    if x_max is not None:
+        x_hi = max(x_hi, float(x_max))
+    for m in markers:
+        x_hi = max(x_hi, m.t)
+    y_vals = list(dv) + ([baseline] if baseline is not None else [])
+    y_lo, y_hi = float(min(y_vals)), float(max(y_vals))
+    if y_hi == y_lo:
+        y_hi, y_lo = y_hi + 1.0, y_lo - 1.0
+    span = y_hi - y_lo
+    y_lo -= 0.06 * span
+    y_hi += 0.06 * span
+
+    plot_w = _CHART_W - _PAD_L - _PAD_R
+    plot_h = _CHART_H - _PAD_T - _PAD_B
+
+    def sx(t: float) -> float:
+        return _PAD_L + plot_w * (t - x_lo) / (x_hi - x_lo or 1.0)
+
+    def sy(v: float) -> float:
+        return _PAD_T + plot_h * (1.0 - (v - y_lo) / (y_hi - y_lo))
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg viewBox="0 0 {_CHART_W} {_CHART_H}" role="img" '
+        f'aria-label="{_esc(title)}" data-chart="{_esc(chart_id)}">')
+    # gridlines + y ticks
+    for tick in _ticks(y_lo, y_hi, 5):
+        if tick < y_lo or tick > y_hi:
+            continue
+        y = sy(tick)
+        label = _fmt(tick) if y_format == "si" else f"{tick:g}"
+        parts.append(f'<line class="grid" x1="{_PAD_L}" y1="{y:.1f}" '
+                     f'x2="{_CHART_W - _PAD_R}" y2="{y:.1f}"/>')
+        parts.append(f'<text class="tick" x="{_PAD_L - 6}" y="{y + 3.5:.1f}" '
+                     f'text-anchor="end">{label}</text>')
+    # x ticks
+    for tick in _ticks(x_lo, x_hi, 6):
+        if tick < x_lo or tick > x_hi:
+            continue
+        x = sx(tick)
+        parts.append(f'<text class="tick" x="{x:.1f}" '
+                     f'y="{_CHART_H - _PAD_B + 16}" '
+                     f'text-anchor="middle">{_fmt(tick)}s</text>')
+    # baseline axis
+    parts.append(f'<line class="axis" x1="{_PAD_L}" '
+                 f'y1="{_CHART_H - _PAD_B}" x2="{_CHART_W - _PAD_R}" '
+                 f'y2="{_CHART_H - _PAD_B}"/>')
+    # calibrated baseline (reference line)
+    if baseline is not None and y_lo <= baseline <= y_hi:
+        y = sy(baseline)
+        parts.append(f'<line class="ref" x1="{_PAD_L}" y1="{y:.1f}" '
+                     f'x2="{_CHART_W - _PAD_R}" y2="{y:.1f}"/>')
+        if baseline_label:
+            parts.append(f'<text class="ref-label" '
+                         f'x="{_CHART_W - _PAD_R - 4}" y="{y - 5:.1f}" '
+                         f'text-anchor="end">{_esc(baseline_label)}</text>')
+    # the series
+    points = " ".join(f"{sx(t):.1f},{sy(v):.1f}" for t, v in zip(dt, dv))
+    parts.append(f'<polyline class="line {series_css}" points="{points}"/>')
+    # markers: full-height event lines with top labels, or baseline ticks
+    seen_labels = set()
+    for m in markers:
+        x = sx(m.t)
+        if m.dot:
+            parts.append(
+                f'<circle class="mark {m.css}" cx="{x:.1f}" '
+                f'cy="{_CHART_H - _PAD_B:.1f}" r="4">'
+                f'<title>{_esc(m.title)}</title></circle>')
+            continue
+        parts.append(f'<line class="event {m.css}" x1="{x:.1f}" '
+                     f'y1="{_PAD_T}" x2="{x:.1f}" '
+                     f'y2="{_CHART_H - _PAD_B}"><title>{_esc(m.title)}'
+                     f'</title></line>')
+        if m.label not in seen_labels:
+            seen_labels.add(m.label)
+            anchor = "start" if x < _CHART_W - 90 else "end"
+            dx = 4 if anchor == "start" else -4
+            parts.append(f'<text class="event-label {m.css}" '
+                         f'x="{x + dx:.1f}" y="{_PAD_T + 10}" '
+                         f'text-anchor="{anchor}">{_esc(m.label)}</text>')
+    # hover layer (crosshair + tooltip, driven by the embedded script)
+    parts.append(f'<line class="cursor" x1="0" y1="{_PAD_T}" x2="0" '
+                 f'y2="{_CHART_H - _PAD_B}" visibility="hidden"/>')
+    parts.append('<circle class="cursor-dot" r="4" visibility="hidden"/>')
+    parts.append(f'<rect class="hover-target" x="{_PAD_L}" y="{_PAD_T}" '
+                 f'width="{plot_w}" height="{plot_h}" fill="none" '
+                 f'pointer-events="all"/>')
+    parts.append("</svg>")
+    payload = {
+        "t": [round(float(t), 4) for t in dt],
+        "v": [float(v) for v in dv],
+        "x0": x_lo, "x1": x_hi, "y0": y_lo, "y1": y_hi,
+        "padL": _PAD_L, "padR": _PAD_R, "padT": _PAD_T, "padB": _PAD_B,
+        "w": _CHART_W, "h": _CHART_H, "yFormat": y_format,
+    }
+    return (
+        f'<figure class="chart"><figcaption>{_esc(title)}</figcaption>'
+        + "".join(parts)
+        + f'<script type="application/json" data-for="{_esc(chart_id)}">'
+        + json.dumps(payload)
+        + "</script>"
+        + '<div class="tooltip" hidden></div></figure>'
+    )
+
+
+# -- shared page chrome --------------------------------------------------------
+
+_STYLE = """
+:root { color-scheme: light dark; }
+.viz-root {
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --baseline: #c3c2b7; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-3: #1baf7a;
+  --status-warning: #fab219; --status-serious: #ec835a;
+  --status-critical: #d03b3b; --status-good: #0ca30c;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  margin: 0; padding: 24px; min-height: 100vh; box-sizing: border-box;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --baseline: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-3: #199e70;
+  }
+}
+.viz-root h1 { font-size: 20px; font-weight: 600; margin: 0 0 2px; }
+.viz-root .sub { color: var(--text-secondary); font-size: 13px; margin: 0 0 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 12px 16px; min-width: 128px;
+}
+.tile .label { font-size: 12px; color: var(--text-secondary); margin-bottom: 4px; }
+.tile .value { font-size: 24px; font-weight: 600; }
+.tile .note { font-size: 11px; color: var(--muted); margin-top: 2px; }
+.tile.alarmed .value { color: var(--status-critical); }
+.tile.quiet .value { color: var(--status-good); }
+.chart {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 14px 16px 8px; margin: 0 0 16px;
+  position: relative; max-width: 900px;
+}
+.chart figcaption { font-size: 13px; font-weight: 600; margin-bottom: 6px; }
+.chart svg { width: 100%; height: auto; display: block; }
+.chart .empty { color: var(--muted); font-size: 13px; }
+svg .grid { stroke: var(--grid); stroke-width: 1; }
+svg .axis { stroke: var(--baseline); stroke-width: 1; }
+svg .tick { fill: var(--muted); font-size: 10px;
+  font-variant-numeric: tabular-nums; }
+svg .line { fill: none; stroke-width: 2; stroke-linejoin: round;
+  stroke-linecap: round; }
+svg .line.s1 { stroke: var(--series-1); }
+svg .line.s3 { stroke: var(--series-3); }
+svg .ref { stroke: var(--muted); stroke-width: 1; stroke-dasharray: 5 4; }
+svg .ref-label { fill: var(--muted); font-size: 10px; }
+svg .event { stroke-width: 1.5; }
+svg .event-label { font-size: 10px; font-weight: 600; }
+svg .event.alarm, svg .event-label.alarm { stroke: var(--status-serious); }
+svg .event-label.alarm { fill: var(--status-serious); stroke: none; }
+svg .event.crash { stroke: var(--status-critical); }
+svg .event-label.crash { fill: var(--status-critical); stroke: none; }
+svg .mark { stroke: var(--surface-1); stroke-width: 2; }
+svg .mark.warning { fill: var(--status-warning); }
+svg .mark.critical { fill: var(--status-critical); }
+svg .mark.info { fill: var(--muted); }
+svg .dot { stroke: var(--surface-1); stroke-width: 2; fill: var(--series-1); }
+svg .cursor { stroke: var(--baseline); stroke-width: 1; }
+svg .cursor-dot { fill: var(--series-1); stroke: var(--surface-1);
+  stroke-width: 2; }
+.tooltip {
+  position: absolute; pointer-events: none; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px; padding: 4px 8px;
+  font-size: 11px; color: var(--text-primary); white-space: nowrap;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.12); z-index: 2;
+}
+table.data {
+  border-collapse: collapse; font-size: 13px; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 10px; margin-bottom: 16px;
+}
+table.data th, table.data td { padding: 6px 12px; text-align: left; }
+table.data td.num { text-align: right; font-variant-numeric: tabular-nums; }
+table.data thead th { color: var(--text-secondary); font-weight: 600;
+  font-size: 12px; border-bottom: 1px solid var(--grid); }
+table.data tbody tr + tr td { border-top: 1px solid var(--grid); }
+.sev { font-weight: 600; }
+.sev.critical { color: var(--status-critical); }
+.sev.warning { color: var(--text-primary); }
+.sev.info { color: var(--text-secondary); }
+details.tableview { margin-bottom: 16px; }
+details.tableview summary { cursor: pointer; font-size: 13px;
+  color: var(--text-secondary); margin-bottom: 8px; }
+.footer { color: var(--muted); font-size: 11px; margin-top: 24px; }
+"""
+
+_SCRIPT = """
+document.querySelectorAll('figure.chart').forEach(function (fig) {
+  var svg = fig.querySelector('svg[data-chart]');
+  if (!svg) return;
+  var dataEl = fig.querySelector('script[type="application/json"]');
+  if (!dataEl) return;
+  var d = JSON.parse(dataEl.textContent);
+  var tip = fig.querySelector('.tooltip');
+  var cursor = svg.querySelector('.cursor');
+  var dot = svg.querySelector('.cursor-dot');
+  var target = svg.querySelector('.hover-target');
+  function fmt(x) {
+    var a = Math.abs(x);
+    if (a >= 1e9) return (x / 1e9).toFixed(2) + 'G';
+    if (a >= 1e6) return (x / 1e6).toFixed(2) + 'M';
+    if (a >= 1e3) return (x / 1e3).toFixed(1) + 'K';
+    return (Math.round(x * 1000) / 1000).toString();
+  }
+  function nearest(t) {
+    var lo = 0, hi = d.t.length - 1;
+    while (hi - lo > 1) {
+      var mid = (lo + hi) >> 1;
+      if (d.t[mid] < t) lo = mid; else hi = mid;
+    }
+    return (t - d.t[lo] < d.t[hi] - t) ? lo : hi;
+  }
+  target.addEventListener('mousemove', function (ev) {
+    var box = svg.getBoundingClientRect();
+    var scale = box.width / d.w;
+    var px = (ev.clientX - box.left) / scale;
+    var frac = (px - d.padL) / (d.w - d.padL - d.padR);
+    var t = d.x0 + frac * (d.x1 - d.x0);
+    var i = nearest(t);
+    var sx = d.padL + (d.w - d.padL - d.padR) *
+      (d.t[i] - d.x0) / ((d.x1 - d.x0) || 1);
+    var sy = d.padT + (d.h - d.padT - d.padB) *
+      (1 - (d.v[i] - d.y0) / ((d.y1 - d.y0) || 1));
+    cursor.setAttribute('x1', sx); cursor.setAttribute('x2', sx);
+    cursor.setAttribute('visibility', 'visible');
+    dot.setAttribute('cx', sx); dot.setAttribute('cy', sy);
+    dot.setAttribute('visibility', 'visible');
+    tip.hidden = false;
+    tip.textContent = 't=' + fmt(d.t[i]) + 's  ' + fmt(d.v[i]);
+    var figBox = fig.getBoundingClientRect();
+    tip.style.left = Math.min(ev.clientX - figBox.left + 12,
+      figBox.width - 130) + 'px';
+    tip.style.top = (ev.clientY - figBox.top - 28) + 'px';
+  });
+  target.addEventListener('mouseleave', function () {
+    tip.hidden = true;
+    cursor.setAttribute('visibility', 'hidden');
+    dot.setAttribute('visibility', 'hidden');
+  });
+});
+"""
+
+
+def _page(title: str, subtitle: str, body: str, footer: str) -> str:
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_STYLE}</style>
+</head>
+<body class="viz-root">
+<h1>{_esc(title)}</h1>
+<p class="sub">{_esc(subtitle)}</p>
+{body}
+<p class="footer">{_esc(footer)}</p>
+<script>{_SCRIPT}</script>
+</body>
+</html>
+"""
+
+
+def _tile(label: str, value: str, note: str = "", css: str = "") -> str:
+    note_html = f'<div class="note">{_esc(note)}</div>' if note else ""
+    return (f'<div class="tile {css}"><div class="label">{_esc(label)}</div>'
+            f'<div class="value">{_esc(value)}</div>{note_html}</div>')
+
+
+# -- run dashboard -------------------------------------------------------------
+
+def render_run_dashboard(events: Sequence[dict], *, title: Optional[str] = None) -> str:
+    """Render one watch session's event stream as a standalone HTML page."""
+    from .live import validate_stream
+
+    validate_stream(events)
+    header = events[0]
+    by_kind: Dict[str, List[dict]] = {}
+    for event in events:
+        by_kind.setdefault(event["kind"], []).append(event)
+    end = by_kind.get("end", [{}])[-1]
+    counter = header.get("counter", "counter")
+    source = header.get("source", {})
+
+    alarm_time = end.get("alarm_time")
+    crash_time = end.get("crash_time")
+    lead = end.get("lead_time")
+    state = end.get("state", "unknown")
+    alerts = by_kind.get("alert", [])
+
+    # -- KPI tiles
+    state_css = "alarmed" if state == "alarmed" else (
+        "quiet" if state == "watching" else "")
+    tiles = [
+        _tile("Detector state", str(state), css=state_css),
+        _tile("Alarm", _fmt_time(alarm_time),
+              "first detector warning" if alarm_time is not None
+              else "never fired"),
+        _tile("Crash", _fmt_time(crash_time),
+              str(end.get("crash_reason") or "") if crash_time is not None
+              else "survived"),
+        _tile("Lead time", _fmt_time(lead),
+              "warning → crash" if lead is not None else ""),
+        _tile("Samples", _fmt(end.get("n_samples")),
+              f"{_fmt(end.get('n_indicators'))} indicator points"),
+        _tile("Alerts fired", _fmt(len(alerts)),
+              f"{len(header.get('rules', []))} rule(s) loaded"),
+    ]
+
+    # -- markers shared by both charts
+    markers: List[_Marker] = []
+    if alarm_time is not None:
+        markers.append(_Marker(float(alarm_time), "alarm", "alarm",
+                               title=f"alarm at {_fmt_time(alarm_time)}"))
+    if crash_time is not None:
+        markers.append(_Marker(float(crash_time), "crash", "crash",
+                               title=f"crash at {_fmt_time(crash_time)} "
+                                     f"({end.get('crash_reason') or 'unknown'})"))
+    alert_markers = [
+        _Marker(float(e["t"]), e.get("rule", "alert"),
+                e.get("severity", "info"), dot=True,
+                title=f"{e.get('rule')} [{e.get('severity')}] "
+                      f"at {_fmt_time(e['t'])}")
+        for e in alerts
+    ]
+
+    samples = by_kind.get("sample", [])
+    counter_chart = _line_chart(
+        "counter", f"{counter} (sampled)",
+        [e["t"] for e in samples], [e["value"] for e in samples],
+        series_css="s1", markers=markers + alert_markers,
+        x_max=end.get("t"),
+    )
+    indicators = by_kind.get("indicator", [])
+    baseline = None
+    for e in by_kind.get("alarm", []):
+        baseline = e.get("baseline")
+    indicator_chart = _line_chart(
+        "indicator",
+        f"Hölder indicator ({header.get('monitor', {}).get('indicator', 'mean')} h)",
+        [e["t"] for e in indicators], [e["value"] for e in indicators],
+        series_css="s3", y_format="plain", markers=markers,
+        baseline=baseline, baseline_label="calibrated baseline",
+        x_max=end.get("t"),
+    )
+
+    # -- alert table
+    if alerts:
+        rows = "".join(
+            f"<tr><td class=\"num\">{_fmt_time(e['t'])}</td>"
+            f"<td>{_esc(e.get('rule'))}</td>"
+            f"<td><span class=\"sev {_esc(e.get('severity'))}\">"
+            f"{'&#9650;' if e.get('severity') == 'critical' else '&#9679;'} "
+            f"{_esc(e.get('severity'))}</span></td>"
+            f"<td>{_esc(e.get('signal'))}</td>"
+            f"<td class=\"num\">{_fmt(e.get('value'))}</td>"
+            f"<td>{_esc(e.get('message', ''))}</td></tr>"
+            for e in alerts
+        )
+        alert_table = (
+            '<figure class="chart"><figcaption>Alert firings</figcaption>'
+            '<table class="data"><thead><tr><th>time</th><th>rule</th>'
+            '<th>severity</th><th>signal</th><th>value</th><th>condition</th>'
+            f'</tr></thead><tbody>{rows}</tbody></table></figure>'
+        )
+    else:
+        alert_table = ('<figure class="chart"><figcaption>Alert firings'
+                       '</figcaption><p class="empty">no alerts fired</p>'
+                       '</figure>')
+
+    # -- accessible table view of the indicator trajectory
+    indicator_rows = "".join(
+        f"<tr><td class=\"num\">{e['n']}</td>"
+        f"<td class=\"num\">{_fmt_time(e['t'])}</td>"
+        f"<td class=\"num\">{e['value']:.4f}</td></tr>"
+        for e in indicators
+    )
+    table_view = (
+        '<details class="tableview"><summary>Indicator data (table view)'
+        '</summary><table class="data"><thead><tr><th>#</th><th>time</th>'
+        f'<th>indicator</th></tr></thead><tbody>{indicator_rows}</tbody>'
+        '</table></details>'
+    ) if indicators else ""
+
+    source_bits = [f"{k}={source[k]}" for k in ("type", "os_profile", "seed")
+                   if k in source]
+    subtitle = (f"counter {counter} · {' · '.join(source_bits)}"
+                if source_bits else f"counter {counter}")
+    body = (f'<div class="tiles">{"".join(tiles)}</div>'
+            + counter_chart + indicator_chart + alert_table + table_view)
+    footer = (f"schema {header.get('schema')} · {len(events)} events · "
+              f"generated by repro.obs.dashboard")
+    return _page(title or "Live aging watch — run report", subtitle, body, footer)
+
+
+# -- campaign dashboard --------------------------------------------------------
+
+def campaign_cells_from_manifests(manifests: Sequence) -> Dict[str, dict]:
+    """Merge the ``outcome.cells`` payloads of campaign run manifests.
+
+    Accepts any mix of manifests; non-campaign ones (no ``cells`` block
+    with run records) are ignored.  Duplicate cell names across
+    manifests get a ``name#k`` suffix rather than silently merging
+    different campaigns.
+    """
+    cells: Dict[str, dict] = {}
+    for manifest in manifests:
+        payload = manifest.outcome.get("cells")
+        if not isinstance(payload, Mapping):
+            continue
+        for name, cell in payload.items():
+            if not isinstance(cell, Mapping) or "runs" not in cell:
+                continue
+            key = name
+            k = 2
+            while key in cells:
+                key = f"{name}#{k}"
+                k += 1
+            cells[key] = dict(cell)
+    return cells
+
+
+def render_campaign_dashboard(
+    manifests: Sequence = (), *,
+    cells: Optional[Mapping[str, dict]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render per-cell detection quality aggregated from run manifests.
+
+    ``cells`` bypasses manifest extraction when the caller already holds
+    a cells payload (e.g. ``repro campaign --dashboard`` rendering the
+    results it just computed).
+    """
+    if cells is not None:
+        cells = dict(cells)
+    else:
+        cells = campaign_cells_from_manifests(manifests)
+    if not cells:
+        raise TraceError(
+            "no campaign cells found in manifests — run "
+            "`python -m repro campaign --telemetry-out DIR` to produce them")
+
+    total_runs = sum(len(c.get("runs", [])) for c in cells.values())
+    total_crashed = sum(int(c.get("crashed", 0)) for c in cells.values())
+    total_detected = sum(int(c.get("detected", 0)) for c in cells.values())
+    total_false = sum(int(c.get("false_alarms", 0)) for c in cells.values())
+    all_leads = [float(v) for c in cells.values()
+                 for v in c.get("lead_times", [])]
+    rate = (100.0 * total_detected / total_crashed) if total_crashed else None
+
+    tiles = [
+        _tile("Cells", str(len(cells))),
+        _tile("Runs", str(total_runs), f"{total_crashed} crashed"),
+        _tile("Detection rate",
+              "—" if rate is None else f"{rate:.0f}%",
+              f"{total_detected}/{total_crashed} crashes warned",
+              css="quiet" if rate is not None and rate >= 75 else ""),
+        _tile("Median lead",
+              _fmt_time(_median(all_leads)) if all_leads else "—",
+              "across detected crashes"),
+        _tile("False alarms", str(total_false),
+              css="alarmed" if total_false else "quiet"),
+    ]
+
+    # -- per-cell table
+    rows = []
+    for name, cell in cells.items():
+        n_runs = len(cell.get("runs", []))
+        crashed = int(cell.get("crashed", 0))
+        detected = int(cell.get("detected", 0))
+        cell_rate = f"{100.0 * detected / crashed:.0f}%" if crashed else "—"
+        median_lead = cell.get("median_lead")
+        rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f"<td class=\"num\">{n_runs}</td>"
+            f"<td class=\"num\">{crashed}</td>"
+            f"<td class=\"num\">{detected}</td>"
+            f"<td class=\"num\">{int(cell.get('missed', 0))}</td>"
+            f"<td class=\"num\">{cell_rate}</td>"
+            f"<td class=\"num\">{_fmt_time(median_lead)}</td>"
+            f"<td class=\"num\">{int(cell.get('false_alarms', 0))}</td></tr>"
+        )
+    cell_table = (
+        '<figure class="chart"><figcaption>Detection quality by cell'
+        '</figcaption><table class="data"><thead><tr><th>cell</th>'
+        '<th>runs</th><th>crashed</th><th>detected</th><th>missed</th>'
+        '<th>rate</th><th>median lead</th><th>false alarms</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table></figure>'
+    )
+
+    strip = _lead_strip_chart(cells)
+
+    # -- false alarm table
+    fa_rows = []
+    for name, cell in cells.items():
+        for run in cell.get("runs", []):
+            if not run.get("crashed") and run.get("alarm_time") is not None:
+                fa_rows.append(
+                    f"<tr><td>{_esc(name)}</td>"
+                    f"<td class=\"num\">{run.get('seed')}</td>"
+                    f"<td class=\"num\">{_fmt_time(run.get('alarm_time'))}</td>"
+                    f"<td class=\"num\">{_fmt_time(run.get('duration'))}</td>"
+                    "</tr>")
+    if fa_rows:
+        fa_table = (
+            '<figure class="chart"><figcaption>False alarms (healthy runs '
+            'that warned)</figcaption><table class="data"><thead><tr>'
+            '<th>cell</th><th>seed</th><th>alarm</th><th>run length</th>'
+            f'</tr></thead><tbody>{"".join(fa_rows)}</tbody></table></figure>'
+        )
+    else:
+        fa_table = ('<figure class="chart"><figcaption>False alarms'
+                    '</figcaption><p class="empty">none — every warning '
+                    'preceded a real crash</p></figure>')
+
+    body = f'<div class="tiles">{"".join(tiles)}</div>' + cell_table + strip + fa_table
+    footer = (f"{len(manifests)} manifest(s) · {len(cells)} cell(s) · "
+              "generated by repro.obs.dashboard")
+    return _page(title or "Aging detection campaign — dashboard",
+                 f"{total_runs} runs · aggregated from run manifests",
+                 body, footer)
+
+
+def _median(values: List[float]) -> Optional[float]:
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _lead_strip_chart(cells: Dict[str, dict]) -> str:
+    """Lead-time distribution: one dot per detected crash, one row per cell."""
+    with_leads = [(name, [float(v) for v in cell.get("lead_times", [])])
+                  for name, cell in cells.items()]
+    with_leads = [(name, leads) for name, leads in with_leads if leads]
+    if not with_leads:
+        return ('<figure class="chart"><figcaption>Lead-time distribution'
+                '</figcaption><p class="empty">no detected crashes to plot'
+                '</p></figure>')
+    x_hi = max(max(leads) for _, leads in with_leads)
+    x_lo = 0.0
+    row_h = 30
+    height = _PAD_T + row_h * len(with_leads) + _PAD_B
+    plot_w = _CHART_W - 170 - _PAD_R
+
+    def sx(v: float) -> float:
+        return 170 + plot_w * (v - x_lo) / ((x_hi - x_lo) or 1.0)
+
+    parts = [f'<svg viewBox="0 0 {_CHART_W} {height}" role="img" '
+             f'aria-label="Lead-time distribution">']
+    for tick in _ticks(x_lo, x_hi, 6):
+        if tick < x_lo or tick > x_hi:
+            continue
+        x = sx(tick)
+        parts.append(f'<line class="grid" x1="{x:.1f}" y1="{_PAD_T}" '
+                     f'x2="{x:.1f}" y2="{height - _PAD_B}"/>')
+        parts.append(f'<text class="tick" x="{x:.1f}" y="{height - _PAD_B + 16}" '
+                     f'text-anchor="middle">{_fmt(tick)}s</text>')
+    for i, (name, leads) in enumerate(with_leads):
+        y = _PAD_T + row_h * i + row_h / 2
+        parts.append(f'<text class="tick" x="160" y="{y + 3.5:.1f}" '
+                     f'text-anchor="end">{_esc(name)}</text>')
+        parts.append(f'<line class="axis" x1="170" y1="{y:.1f}" '
+                     f'x2="{_CHART_W - _PAD_R}" y2="{y:.1f}"/>')
+        for lead in leads:
+            parts.append(f'<circle class="dot" cx="{sx(lead):.1f}" '
+                         f'cy="{y:.1f}" r="5">'
+                         f'<title>{_esc(name)}: lead {_fmt_time(lead)}'
+                         f'</title></circle>')
+    parts.append("</svg>")
+    return ('<figure class="chart"><figcaption>Lead-time distribution '
+            '(one dot per detected crash)</figcaption>'
+            + "".join(parts) + "</figure>")
+
+
+# -- entry points --------------------------------------------------------------
+
+def write_dashboard(html_text: str, path: str | os.PathLike) -> str:
+    """Write a rendered dashboard to ``path``; returns the path."""
+    if not html_text.startswith("<!DOCTYPE html>"):
+        raise ValidationError("not a rendered dashboard (missing doctype)")
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(html_text)
+    return path

@@ -38,6 +38,7 @@ __all__ = [
     "manifests_to_csv",
     "manifests_to_prometheus",
     "session_to_prometheus",
+    "watch_events_to_prometheus",
     "PrometheusWriter",
 ]
 
@@ -277,6 +278,54 @@ def manifests_to_prometheus(
                           help="recorded telemetry events by kind")
         _add_metrics_samples(writer, manifest.metrics, labels)
         _add_profile_samples(writer, manifest.profile, labels)
+    return writer.render()
+
+
+def watch_events_to_prometheus(
+    events: Sequence[Mapping], *, prefix: str = "repro_",
+) -> str:
+    """Render a watch event stream as OpenMetrics text.
+
+    Scrapeable summary of a live session: event counts by kind, alert
+    firings labelled by rule and severity, the detector state (as an
+    info-style gauge), and the alarm/crash/lead timings from the ``end``
+    event when present.
+    """
+    if not events:
+        raise ValidationError("no watch events to export")
+    writer = PrometheusWriter(prefix=prefix)
+    kind_counts: Dict[str, int] = {}
+    alert_counts: Dict[Tuple[str, str], int] = {}
+    for event in events:
+        kind = str(event.get("kind", "unknown"))
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        if kind == "alert":
+            key = (str(event.get("rule", "unknown")),
+                   str(event.get("severity", "unknown")))
+            alert_counts[key] = alert_counts.get(key, 0) + 1
+    for kind, count in sorted(kind_counts.items()):
+        writer.sample("watch_events", "counter", count,
+                      labels={"kind": kind},
+                      help="watch stream events by kind")
+    for (rule, severity), count in sorted(alert_counts.items()):
+        writer.sample("watch_alerts_fired", "counter", count,
+                      labels={"rule": rule, "severity": severity},
+                      help="alert rule firings")
+    end = next((e for e in reversed(list(events))
+                if e.get("kind") == "end"), None)
+    if end is not None:
+        writer.sample("watch_samples", "counter", end.get("n_samples", 0),
+                      help="counter samples consumed by the watcher")
+        for field, name in (("alarm_time", "watch_alarm_time_seconds"),
+                            ("crash_time", "watch_crash_time_seconds"),
+                            ("lead_time", "watch_lead_seconds")):
+            value = end.get(field)
+            if value is not None:
+                writer.sample(name, "gauge", value,
+                              help=f"{field.replace('_', ' ')} (simulated s)")
+        writer.sample("watch_state", "gauge", 1,
+                      labels={"state": str(end.get("state", "unknown"))},
+                      help="final detector state")
     return writer.render()
 
 

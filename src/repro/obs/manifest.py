@@ -87,6 +87,12 @@ class RunManifest:
             return None
         return self.finished_at - self.started_at
 
+    def events_of(self, kind: str) -> List[dict]:
+        """Every recorded event of one kind, in order (mirrors the
+        session-side helper, so consumers aggregate live sessions and
+        archived runs with the same code)."""
+        return [e for e in self.events if e.get("kind") == kind]
+
     def stage_durations(self) -> Dict[str, float]:
         """Completed span path → summed duration in seconds."""
         out: Dict[str, float] = {}

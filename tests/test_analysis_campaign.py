@@ -8,6 +8,8 @@ import pytest
 from repro.analysis import (
     CellResult,
     ExperimentSpec,
+    RunRecord,
+    cells_payload,
     load_results,
     results_table,
     run_campaign,
@@ -228,3 +230,42 @@ class TestCampaign:
             ExperimentSpec(name="x", scenario="mainframe")
         with pytest.raises(ValidationError):
             ExperimentSpec(name="x", fault_factor=-1.0)
+
+    @staticmethod
+    def _record(seed, lead):
+        crash = 1000.0
+        return RunRecord(
+            seed=seed, crashed=True, crash_time=crash, crash_reason="memory",
+            alarm_time=None if lead is None else crash - lead,
+            lead_time=lead, duration=crash,
+        )
+
+    def test_median_lead_counts_zero_lead_detections(self):
+        # Regression: a `> 0` filter silently dropped alarms that fired at
+        # the crash instant, biasing the median optimistic.
+        cell = CellResult(
+            spec=ExperimentSpec(name="x", n_runs=3),
+            runs=[self._record(1, 0.0), self._record(2, 100.0),
+                  self._record(3, 200.0)],
+            outcome=None, false_alarms=0,
+        )
+        assert cell.median_lead == pytest.approx(100.0)
+
+    def test_median_lead_nan_when_no_detections(self):
+        cell = CellResult(
+            spec=ExperimentSpec(name="x", n_runs=1),
+            runs=[self._record(1, None)], outcome=None, false_alarms=0,
+        )
+        assert math.isnan(cell.median_lead)
+
+    def test_cells_payload_is_json_ready(self, small_campaign):
+        import json
+
+        payload = cells_payload(small_campaign)
+        assert set(payload) == set(small_campaign)
+        aging = payload["aging"]
+        assert len(aging["runs"]) == 2
+        assert aging["detected"] == 2
+        assert all(r["crashed"] for r in aging["runs"])
+        assert payload["healthy"]["median_lead"] is None
+        json.dumps(payload)  # must serialise without default= hooks

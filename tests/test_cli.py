@@ -91,10 +91,35 @@ class TestParser:
                      ["analyze", "t.csv"],
                      ["validate"],
                      ["campaign"],
-                     ["bench"]):
+                     ["bench"],
+                     ["watch"],
+                     ["dashboard", "x.jsonl"]):
             args = build_parser().parse_args(base + ["--perf-profile"])
             assert args.perf_profile
             assert not args.perf_memory
+
+    def test_watch_args(self):
+        args = build_parser().parse_args(
+            ["watch", "--scenario", "stress", "--seed", "3",
+             "--alerts", "rules.toml", "--events", "out.jsonl",
+             "--chunk-size", "64"])
+        assert args.scenario == "stress"
+        assert args.alerts == "rules.toml"
+        assert args.events == "out.jsonl"
+        assert args.chunk_size == 64
+        defaults = build_parser().parse_args(["watch"])
+        assert defaults.scenario is None and defaults.trace is None
+        assert defaults.counter == "AvailableBytes"
+        # --scenario and --trace are mutually exclusive sources.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["watch", "--scenario", "stress", "--trace", "x.csv"])
+
+    def test_dashboard_args(self):
+        args = build_parser().parse_args(
+            ["dashboard", "out.jsonl", "-o", "report.html"])
+        assert args.path == "out.jsonl"
+        assert args.out == "report.html"
 
 
 class TestCommands:
@@ -274,11 +299,36 @@ class TestTelemetryCli:
 
 
 class TestBenchCli:
-    def test_list_mode(self, capsys):
-        code = main(["bench", "--list"])
+    def test_list_cases_mode(self, capsys):
+        code = main(["bench", "--list-cases"])
         assert code == 0
         out = capsys.readouterr().out
         assert "Benchmark suite" in out
+        assert "fractal.mfdfa" in out
+
+    def test_list_mode_empty(self, tmp_path, capsys):
+        code = main(["bench", "--list", "--out", str(tmp_path / "none")])
+        assert code == 0
+        assert "no BENCH_" in capsys.readouterr().out
+
+    def test_list_mode_tabulates_trajectories(self, tmp_path, capsys):
+        from repro.obs import bench
+
+        payload = {
+            "schema": bench.BENCH_SCHEMA,
+            "created_at": "2026-08-06T10:00:00+00:00",
+            "quick": True,
+            "repeats": 1,
+            "environment": {"git_sha": "abc1234def"},
+            "results": {"fractal.mfdfa": {"wall_best": 0.0123}},
+        }
+        bench.write_bench_file(payload, tmp_path)
+        code = main(["bench", "--list", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2026-08-06" in out
+        assert "abc1234" in out
+        assert "quick" in out
         assert "fractal.mfdfa" in out
 
     def test_quick_run_writes_trajectory(self, tmp_path, capsys):
@@ -346,3 +396,132 @@ class TestBenchCli:
         assert main(argv) == 0  # second run: still no comparison attempted
         out = capsys.readouterr().out
         assert "Perf trajectory" not in out
+
+
+class TestWatchCli:
+    def test_watch_replay_full_pipeline(self, short_trace, tmp_path, capsys):
+        path, result = short_trace
+        rules = tmp_path / "rules.toml"
+        rules.write_text(
+            '[[rule]]\nname = "low-mem"\nsignal = "AvailableBytes"\n'
+            'kind = "threshold"\nop = "lt"\nvalue = 100e6\n'
+            'severity = "critical"\n'
+        )
+        events_path = tmp_path / "out.jsonl"
+        html_path = tmp_path / "report.html"
+        code = main(["watch", "--trace", str(path),
+                     "--alerts", str(rules),
+                     "--events", str(events_path),
+                     "--dashboard", str(html_path),
+                     "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALARM" in out
+        assert "crashed" in out
+
+        # The stream on disk validates and the alarm precedes the crash.
+        from repro.obs.live import read_events, validate_stream
+
+        events = read_events(events_path)
+        counts = validate_stream(events)
+        assert counts["alarm"] == 1
+        end = events[-1]
+        assert end["kind"] == "end"
+        assert end["alarm_time"] < end["crash_time"]
+        assert end["crash_time"] == pytest.approx(result.crash_time)
+        assert counts.get("alert", 0) >= 1
+
+        # The dashboard rendered alongside, self-contained.
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+
+    def test_watch_missing_rules_file(self, short_trace, tmp_path, capsys):
+        path, _ = short_trace
+        code = main(["watch", "--trace", str(path),
+                     "--alerts", str(tmp_path / "nope.toml"), "--quiet"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_watch_bad_counter(self, short_trace, capsys):
+        path, _ = short_trace
+        code = main(["watch", "--trace", str(path),
+                     "--counter", "NoSuchCounter", "--quiet"])
+        assert code == 2
+        assert "NoSuchCounter" in capsys.readouterr().err
+
+    def test_watch_status_lines(self, short_trace, capsys):
+        path, _ = short_trace
+        code = main(["watch", "--trace", str(path), "--status-every", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state=" in out
+        assert "samples=" in out
+
+    def test_watch_writes_manifest(self, short_trace, tmp_path):
+        path, _ = short_trace
+        code = main(["watch", "--trace", str(path), "--quiet",
+                     "--telemetry-out", str(tmp_path / "run")])
+        assert code == 0
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        assert manifest["command"] == "watch"
+        assert manifest["outcome"]["alarm_time"] is not None
+
+
+class TestDashboardCli:
+    def test_run_dashboard_from_jsonl(self, short_trace, tmp_path, capsys):
+        path, _ = short_trace
+        events_path = tmp_path / "out.jsonl"
+        assert main(["watch", "--trace", str(path), "--quiet",
+                     "--events", str(events_path)]) == 0
+        html_path = tmp_path / "report.html"
+        code = main(["dashboard", str(events_path), "-o", str(html_path)])
+        assert code == 0
+        assert "run dashboard" in capsys.readouterr().out
+        assert html_path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_campaign_dashboard_from_manifests(self, tmp_path, capsys):
+        from repro.obs import RunManifest, write_manifest
+
+        cells = {
+            "aging": {
+                "runs": [{"seed": 1, "crashed": True, "crash_time": 900.0,
+                          "alarm_time": 400.0, "lead_time": 500.0,
+                          "duration": 900.0}],
+                "crashed": 1, "detected": 1, "missed": 0,
+                "median_lead": 500.0, "false_alarms": 0,
+                "lead_times": [500.0],
+            },
+        }
+        write_manifest(RunManifest(command="campaign",
+                                   outcome={"cells": cells}),
+                       tmp_path / "run1")
+        html_path = tmp_path / "campaign.html"
+        code = main(["dashboard", str(tmp_path), "-o", str(html_path)])
+        assert code == 0
+        assert "campaign dashboard" in capsys.readouterr().out
+        assert "aging" in html_path.read_text()
+
+    def test_missing_path_errors(self, tmp_path, capsys):
+        code = main(["dashboard", str(tmp_path / "nothing"),
+                     "-o", str(tmp_path / "x.html")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCampaignDashboardFlag:
+    def test_campaign_outcome_carries_run_records(self, tmp_path):
+        dash = tmp_path / "campaign.html"
+        code = main(["campaign", "--scenario", "stress", "--runs", "1",
+                     "--max-seconds", "12000",
+                     "--telemetry-out", str(tmp_path / "run"),
+                     "--dashboard", str(dash)])
+        assert code == 0
+        manifest = json.loads((tmp_path / "run" / "manifest.json").read_text())
+        cells = manifest["outcome"]["cells"]
+        assert set(cells) == {"stress-aging", "stress-healthy"}
+        for cell in cells.values():
+            assert isinstance(cell["runs"], list)
+            assert {"seed", "crashed", "alarm_time",
+                    "lead_time"} <= set(cell["runs"][0])
+        assert dash.read_text().startswith("<!DOCTYPE html>")

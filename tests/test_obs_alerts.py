@@ -1,0 +1,202 @@
+"""Tests for the declarative alert-rule engine (repro.obs.alerts)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.alerts import (
+    ALERT_KINDS,
+    AlertEngine,
+    AlertRule,
+    load_rules,
+    parse_rules,
+)
+
+
+def threshold_rule(**overrides):
+    kwargs = dict(name="low", signal="x", kind="threshold", op="lt",
+                  value=10.0)
+    kwargs.update(overrides)
+    return AlertRule(**kwargs)
+
+
+class TestAlertRule:
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="name"):
+            threshold_rule(name="")
+        with pytest.raises(ValidationError, match="kind"):
+            threshold_rule(kind="spike")
+        with pytest.raises(ValidationError, match="op"):
+            threshold_rule(op="!=")
+        with pytest.raises(ValidationError, match="severity"):
+            threshold_rule(severity="fatal")
+        with pytest.raises(ValidationError, match="window"):
+            threshold_rule(kind="sustained")  # window defaults to 0
+        with pytest.raises(ValidationError, match="non-negative"):
+            threshold_rule(cooldown=-1.0)
+
+    def test_condition_text(self):
+        assert threshold_rule().condition == "x < 10"
+        rate = threshold_rule(kind="rate", op="le", value=-5.0)
+        assert rate.condition == "d(x)/dt <= -5"
+        sustained = threshold_rule(kind="sustained", op="gt", window=60.0)
+        assert sustained.condition == "x > 10 for 60s"
+
+    def test_kinds_closed(self):
+        assert set(ALERT_KINDS) == {"threshold", "rate", "sustained"}
+
+
+class TestThresholdRules:
+    def test_fires_once_per_excursion(self):
+        engine = AlertEngine([threshold_rule()])
+        fired = []
+        for t, v in [(0, 20), (1, 5), (2, 3), (3, 15), (4, 4)]:
+            fired.extend(engine.observe("x", float(t), float(v)))
+        # Two excursions below 10 -> two firings (one each), re-armed by
+        # the in-bounds sample at t=3.
+        assert [f.time for f in fired] == [1.0, 4.0]
+        assert engine.counts() == {"low": 2}
+
+    def test_cooldown_suppresses_rearm(self):
+        engine = AlertEngine([threshold_rule(cooldown=100.0)])
+        fired = []
+        for t, v in [(0, 5), (10, 20), (20, 5), (200, 20), (210, 5)]:
+            fired.extend(engine.observe("x", float(t), float(v)))
+        # Second excursion at t=20 is inside the cooldown; third at t=210
+        # is past it.
+        assert [f.time for f in fired] == [0.0, 210.0]
+
+    def test_other_signals_ignored(self):
+        engine = AlertEngine([threshold_rule()])
+        assert engine.observe("y", 0.0, 0.0) == []
+        assert engine.total_fired == 0
+
+    def test_firing_payload(self):
+        engine = AlertEngine([threshold_rule(severity="critical")])
+        (firing,) = engine.observe("x", 7.0, 3.0)
+        assert firing.rule == "low"
+        assert firing.signal == "x"
+        assert firing.severity == "critical"
+        assert firing.value == 3.0
+        assert "x < 10" in firing.message
+
+
+class TestRateRules:
+    def test_fires_on_slope(self):
+        rule = threshold_rule(name="drain", kind="rate", op="lt", value=-1.0)
+        engine = AlertEngine([rule])
+        assert engine.observe("x", 0.0, 100.0) == []  # no rate yet
+        assert engine.observe("x", 10.0, 95.0) == []  # -0.5/s: fine
+        (firing,) = engine.observe("x", 20.0, 75.0)   # -2/s: fires
+        assert firing.value == pytest.approx(-2.0)
+
+    def test_nonadvancing_time_yields_no_rate(self):
+        rule = threshold_rule(name="drain", kind="rate", op="lt", value=-1.0)
+        engine = AlertEngine([rule])
+        engine.observe("x", 0.0, 100.0)
+        assert engine.observe("x", 0.0, 0.0) == []
+
+
+class TestSustainedRules:
+    def test_requires_persistence(self):
+        rule = threshold_rule(name="held", kind="sustained", op="lt",
+                              window=60.0)
+        engine = AlertEngine([rule])
+        fired = []
+        for t, v in [(0, 5), (30, 5), (59, 5), (61, 5), (70, 5)]:
+            fired.extend(engine.observe("x", float(t), float(v)))
+        # Fires once the excursion has lasted >= 60s, and only once.
+        assert [f.time for f in fired] == [61.0]
+
+    def test_interrupted_excursion_restarts_clock(self):
+        rule = threshold_rule(name="held", kind="sustained", op="lt",
+                              window=60.0)
+        engine = AlertEngine([rule])
+        fired = []
+        for t, v in [(0, 5), (50, 20), (55, 5), (100, 5), (120, 5)]:
+            fired.extend(engine.observe("x", float(t), float(v)))
+        # The in-bounds sample at t=50 reset the excursion; persistence
+        # is then measured from t=55, so the firing lands at t=120.
+        assert [f.time for f in fired] == [120.0]
+
+
+class TestEngine:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            AlertEngine([threshold_rule(), threshold_rule()])
+
+    def test_signals_and_counts(self):
+        engine = AlertEngine([
+            threshold_rule(),
+            threshold_rule(name="ind", signal="indicator", op="gt", value=1.0),
+        ])
+        assert set(engine.signals) == {"x", "indicator"}
+        assert engine.counts() == {"low": 0, "ind": 0}
+
+
+class TestLoading:
+    def test_parse_rules_toml_shape(self):
+        rules = parse_rules({"rule": [
+            {"name": "a", "signal": "x", "kind": "threshold", "op": "lt",
+             "value": 1.0},
+        ]})
+        assert len(rules) == 1 and rules[0].name == "a"
+
+    def test_parse_rules_json_shape(self):
+        rules = parse_rules({"rules": [
+            {"name": "a", "signal": "x", "kind": "threshold", "op": "lt",
+             "value": 1.0},
+        ]})
+        assert rules[0].signal == "x"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="windw"):
+            parse_rules({"rule": [
+                {"name": "a", "signal": "x", "kind": "sustained", "op": "lt",
+                 "value": 1.0, "windw": 60.0},
+            ]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_rules({})
+        with pytest.raises(ValidationError):
+            parse_rules({"rule": []})
+
+    def test_load_toml(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text(
+            '[[rule]]\nname = "a"\nsignal = "x"\nkind = "threshold"\n'
+            'op = "lt"\nvalue = 5.0\nseverity = "critical"\n'
+        )
+        (rule,) = load_rules(path)
+        assert rule.severity == "critical"
+        assert rule.value == 5.0
+
+    def test_load_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(
+            '{"rules": [{"name": "a", "signal": "x", "kind": "rate", '
+            '"op": "lt", "value": -1.0}]}'
+        )
+        (rule,) = load_rules(path)
+        assert rule.kind == "rate"
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "rules.yaml"
+        path.write_text("rules: []\n")
+        with pytest.raises(ValidationError, match="yaml"):
+            load_rules(path)
+
+    def test_bad_toml_reported(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text("[[rule\n")
+        with pytest.raises(ValidationError, match="bad TOML"):
+            load_rules(path)
+
+    def test_example_rules_file_loads(self):
+        import os
+
+        example = os.path.join(os.path.dirname(__file__), os.pardir,
+                               "examples", "alert_rules.toml")
+        rules = load_rules(example)
+        assert len(rules) >= 2
+        assert {r.kind for r in rules} == {"threshold", "rate", "sustained"}

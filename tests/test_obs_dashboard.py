@@ -1,0 +1,179 @@
+"""Tests for the self-contained HTML dashboards (repro.obs.dashboard)."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineAgingMonitor
+from repro.exceptions import TraceError, ValidationError
+from repro.generators import fbm
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.dashboard import (
+    campaign_cells_from_manifests,
+    render_campaign_dashboard,
+    render_run_dashboard,
+    write_dashboard,
+)
+from repro.obs.live import EventStreamWriter, LiveWatcher
+from repro.obs.manifest import RunManifest
+
+
+@pytest.fixture(scope="module")
+def watch_events():
+    """A realistic alarmed-then-crashed watch stream (module-scoped: slow)."""
+    rng = np.random.default_rng(31)
+    healthy = fbm(5000, 0.7, rng=rng)
+    sick = healthy[-1] + 50.0 * rng.standard_normal(2000)
+    x = np.concatenate([healthy, sick])
+    monitor = OnlineAgingMonitor(chunk_size=128, history=512,
+                                 indicator_window=256, n_warmup=1,
+                                 n_calibration=10)
+    engine = AlertEngine([AlertRule(
+        name="ind-low", signal="indicator", kind="threshold", op="lt",
+        value=0.0, severity="critical")])
+    watcher = LiveWatcher(monitor, writer=EventStreamWriter(keep=True),
+                          counter="x", engine=engine, sample_every=8,
+                          status_every=1000.0)
+    watcher.write_header({"type": "test", "seed": 31})
+    for i, value in enumerate(x):
+        watcher.feed(float(i), float(value))
+    watcher.finalize(crash_time=float(x.size), crash_reason="memory")
+    return watcher.writer.events
+
+
+def cells_fixture():
+    return {
+        "stress-aging": {
+            "scenario": "stress", "profile": "nt4", "fault_factor": 1.0,
+            "runs": [
+                {"seed": 1, "crashed": True, "crash_time": 9000.0,
+                 "alarm_time": 4000.0, "lead_time": 5000.0,
+                 "duration": 9000.0},
+                {"seed": 2, "crashed": True, "crash_time": 8000.0,
+                 "alarm_time": None, "lead_time": None, "duration": 8000.0},
+            ],
+            "crashed": 2, "detected": 1, "missed": 1, "median_lead": 5000.0,
+            "false_alarms": 0, "lead_times": [5000.0],
+        },
+        "stress-healthy": {
+            "scenario": "stress", "profile": "nt4", "fault_factor": 0.0,
+            "runs": [
+                {"seed": 60, "crashed": False, "crash_time": None,
+                 "alarm_time": 7000.0, "lead_time": None,
+                 "duration": 14000.0},
+            ],
+            "crashed": 0, "detected": 0, "missed": 0, "median_lead": None,
+            "false_alarms": 1, "lead_times": [],
+        },
+    }
+
+
+class TestRunDashboard:
+    def test_renders_self_contained_html(self, watch_events):
+        html = render_run_dashboard(watch_events)
+        assert html.startswith("<!DOCTYPE html>")
+        # No external resources of any kind.
+        assert not re.search(r'(?:href|src)\s*=\s*"(?:https?:)?//', html)
+        assert "<link" not in html
+        assert "@import" not in html
+        # Inline SVG charts for counter + indicator.
+        assert html.count("<svg") == 2
+        # Alarm and crash markers plus the alert table.
+        assert "alarm" in html
+        assert "crash" in html
+        assert "ind-low" in html
+        # KPI tiles include the lead time.
+        assert "Lead time" in html
+
+    def test_dark_mode_and_palette_tokens(self, watch_events):
+        html = render_run_dashboard(watch_events)
+        assert "prefers-color-scheme: dark" in html
+        assert "--series-1" in html
+        assert "--status-critical" in html
+
+    def test_table_view_present(self, watch_events):
+        # Contrast relief for the indicator series: a data table exists.
+        html = render_run_dashboard(watch_events)
+        assert "table view" in html
+
+    def test_custom_title_escaped(self, watch_events):
+        html = render_run_dashboard(watch_events,
+                                    title="<script>alert(1)</script>")
+        assert "<script>alert(1)</script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_rejects_invalid_stream(self):
+        with pytest.raises(TraceError):
+            render_run_dashboard([{"kind": "sample", "t": 0.0, "value": 1.0}])
+
+    def test_quiet_run_renders(self):
+        # A short, healthy watch (no alarm, no crash, no alerts).
+        monitor = OnlineAgingMonitor(chunk_size=128, history=512,
+                                     indicator_window=256, n_warmup=1,
+                                     n_calibration=10)
+        watcher = LiveWatcher(monitor, writer=EventStreamWriter(keep=True),
+                              counter="x")
+        watcher.write_header({"type": "test"})
+        for i in range(300):
+            watcher.feed(float(i), 100.0 + (i % 7))
+        watcher.finalize()
+        html = render_run_dashboard(watcher.writer.events)
+        assert "no alerts fired" in html
+        assert "survived" in html
+
+
+class TestCampaignDashboard:
+    def test_renders_from_manifests(self):
+        manifest = RunManifest(command="campaign",
+                               outcome={"cells": cells_fixture()})
+        html = render_campaign_dashboard([manifest])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "stress-aging" in html
+        assert "stress-healthy" in html
+        # Detection rate and false-alarm accounting.
+        assert "Detection rate" in html
+        assert "False alarms" in html
+        # Lead-time strip plot dots carry per-run tooltips.
+        assert "Lead-time distribution" in html
+
+    def test_renders_from_cells_directly(self):
+        html = render_campaign_dashboard(cells=cells_fixture())
+        assert "stress-aging" in html
+
+    def test_false_alarm_rows(self):
+        html = render_campaign_dashboard(cells=cells_fixture())
+        # The healthy run that alarmed at t=7000 appears in the table.
+        assert "7,000s" in html
+
+    def test_non_campaign_manifests_rejected(self):
+        with pytest.raises(TraceError, match="no campaign cells"):
+            render_campaign_dashboard([RunManifest(command="simulate")])
+
+    def test_cells_extraction_skips_foreign_manifests(self):
+        good = RunManifest(command="campaign",
+                           outcome={"cells": cells_fixture()})
+        noise = RunManifest(command="simulate", outcome={"crashed": True})
+        cells = campaign_cells_from_manifests([noise, good])
+        assert set(cells) == set(cells_fixture())
+
+    def test_duplicate_cell_names_suffixed(self):
+        m1 = RunManifest(command="campaign",
+                         outcome={"cells": cells_fixture()})
+        m2 = RunManifest(command="campaign",
+                         outcome={"cells": cells_fixture()})
+        cells = campaign_cells_from_manifests([m1, m2])
+        assert len(cells) == 4
+        assert "stress-aging#2" in cells
+
+
+class TestWriteDashboard:
+    def test_writes_file(self, tmp_path, watch_events):
+        html = render_run_dashboard(watch_events)
+        path = write_dashboard(html, tmp_path / "sub" / "report.html")
+        with open(path) as handle:
+            assert handle.read() == html
+
+    def test_rejects_non_dashboard_text(self, tmp_path):
+        with pytest.raises(ValidationError, match="doctype"):
+            write_dashboard("<p>hello</p>", tmp_path / "x.html")

@@ -1,0 +1,297 @@
+"""Tests for the live watch event stream (repro.obs.live)."""
+
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineAgingMonitor
+from repro.exceptions import TraceError
+from repro.generators import fbm
+from repro.obs.alerts import AlertEngine, AlertRule
+from repro.obs.live import (
+    WATCH_SCHEMA,
+    EventStreamWriter,
+    LiveWatcher,
+    read_events,
+    validate_event,
+    validate_stream,
+)
+
+
+def fast_monitor(**overrides):
+    kwargs = dict(chunk_size=128, history=512, indicator_window=256,
+                  n_warmup=1, n_calibration=10)
+    kwargs.update(overrides)
+    return OnlineAgingMonitor(**kwargs)
+
+
+def make_watcher(**overrides):
+    kwargs = dict(writer=EventStreamWriter(keep=True), counter="x",
+                  status_every=0.0)
+    kwargs.update(overrides)
+    return LiveWatcher(fast_monitor(), **kwargs)
+
+
+class TestValidation:
+    def test_good_events_pass(self):
+        validate_event({"kind": "sample", "t": 1.0, "value": 3.0})
+        validate_event({"kind": "crash", "t": 9.0, "reason": "memory"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceError, match="unknown event kind"):
+            validate_event({"kind": "mystery", "t": 0.0})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(TraceError, match="missing"):
+            validate_event({"kind": "sample", "t": 0.0})
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(TraceError, match="finite"):
+            validate_event({"kind": "sample", "t": float("nan"), "value": 1.0})
+
+    def test_non_numeric_value_rejected(self):
+        with pytest.raises(TraceError, match="numeric"):
+            validate_event({"kind": "sample", "t": 0.0, "value": "big"})
+
+    def test_foreign_schema_rejected(self):
+        with pytest.raises(TraceError, match="schema"):
+            validate_event({"kind": "header", "t": 0.0, "schema": "foo/9",
+                            "counter": "x", "source": {}, "monitor": {},
+                            "rules": []})
+
+    def test_stream_must_open_with_header(self):
+        with pytest.raises(TraceError, match="header"):
+            validate_stream([{"kind": "sample", "t": 0.0, "value": 1.0}])
+
+    def test_stream_time_monotonicity(self):
+        header = {"kind": "header", "t": 0.0, "schema": WATCH_SCHEMA,
+                  "counter": "x", "source": {}, "monitor": {}, "rules": []}
+        with pytest.raises(TraceError, match="backwards"):
+            validate_stream([
+                header,
+                {"kind": "sample", "t": 5.0, "value": 1.0},
+                {"kind": "sample", "t": 4.0, "value": 1.0},
+            ])
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            validate_stream([])
+
+
+class TestEventStreamWriter:
+    def test_writes_jsonl_lines(self):
+        buf = io.StringIO()
+        writer = EventStreamWriter(buf)
+        writer.emit("sample", 1.0, value=2.0)
+        writer.emit("sample", 2.0, value=3.0)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [e["t"] for e in lines] == [1.0, 2.0]
+        assert writer.n_events == 2
+        assert writer.last_t == 2.0
+
+    def test_rejects_backwards_time(self):
+        writer = EventStreamWriter()
+        writer.emit("sample", 5.0, value=1.0)
+        with pytest.raises(TraceError, match="backwards"):
+            writer.emit("sample", 4.0, value=1.0)
+
+    def test_rejects_invalid_event(self):
+        writer = EventStreamWriter()
+        with pytest.raises(TraceError):
+            writer.emit("sample", 1.0)  # no value
+
+
+class TestLiveWatcher:
+    def test_header_required_before_feed(self):
+        watcher = make_watcher()
+        with pytest.raises(TraceError, match="header"):
+            watcher.feed(0.0, 1.0)
+
+    def test_nonfinite_samples_dropped_not_fatal(self):
+        watcher = make_watcher()
+        watcher.write_header({"type": "test"})
+        watcher.feed(0.0, 1.0)
+        watcher.feed(1.0, float("nan"))
+        watcher.feed(2.0, float("inf"))
+        watcher.feed(3.0, 2.0)
+        assert watcher.n_samples == 2
+        assert watcher.n_dropped == 2
+        assert not watcher.monitor.alarmed
+
+    def test_sample_decimation(self):
+        watcher = make_watcher(sample_every=4)
+        watcher.write_header({"type": "test"})
+        for i in range(16):
+            watcher.feed(float(i), float(i))
+        counts = watcher.writer.counts
+        assert counts["sample"] == 4  # every 4th of 16
+        # The monitor still saw every sample.
+        assert watcher.monitor.n_samples == 16
+
+    def test_full_session_produces_valid_stream(self):
+        rng = np.random.default_rng(21)
+        healthy = fbm(5000, 0.7, rng=rng)
+        sick = healthy[-1] + 50.0 * rng.standard_normal(2000)
+        x = np.concatenate([healthy, sick])
+
+        engine = AlertEngine([AlertRule(
+            name="ind-low", signal="indicator", kind="threshold",
+            op="lt", value=0.0, severity="warning")])
+        watcher = make_watcher(engine=engine, sample_every=8,
+                               status_every=1000.0)
+        watcher.write_header({"type": "test"})
+        for i, value in enumerate(x):
+            watcher.feed(float(i), float(value))
+        end = watcher.finalize(crash_time=float(x.size), crash_reason="memory")
+
+        events = watcher.writer.events
+        counts = validate_stream(events)
+        assert counts["header"] == 1
+        assert counts["crash"] == 1
+        assert counts["end"] == 1
+        assert counts["indicator"] >= 1
+        assert counts["detector_state"] >= 2
+        # The detector alarmed on the regime change, before the "crash".
+        assert counts["alarm"] == 1
+        assert end["alarm_time"] is not None
+        assert end["lead_time"] > 0
+        assert end["state"] == "alarmed"
+        # detector_state transitions arrive in lifecycle order.
+        states = [e["state"] for e in events if e["kind"] == "detector_state"]
+        assert states[0] == "calibrating"
+        assert states[-1] == "alarmed"
+
+    def test_status_heartbeats(self):
+        lines = []
+        watcher = make_watcher(status_every=100.0, on_status=lines.append)
+        watcher.write_header({"type": "test"})
+        for i in range(401):
+            watcher.feed(float(i), 1.0 + 0.01 * i)
+        assert watcher.writer.counts.get("status", 0) == 4
+        assert len(lines) == 4
+        assert lines[0]["state"] in ("buffering", "calibrating")
+
+    def test_finalize_without_crash(self):
+        watcher = make_watcher()
+        watcher.write_header({"type": "test"})
+        watcher.feed(0.0, 1.0)
+        end = watcher.finalize()
+        assert end["crash_time"] is None
+        assert end["lead_time"] is None
+        assert watcher.writer.counts.get("crash", 0) == 0
+
+    def test_finalize_twice_rejected(self):
+        watcher = make_watcher()
+        watcher.write_header({"type": "test"})
+        watcher.finalize()
+        with pytest.raises(TraceError, match="finalized"):
+            watcher.finalize()
+
+
+class TestLiveAttachment:
+    @pytest.fixture(scope="class")
+    def watched_run(self):
+        from repro.memsim.scenarios import build_scenario
+
+        machine = build_scenario("stress", seed=7, max_run_seconds=20_000.0)
+        monitor = OnlineAgingMonitor(chunk_size=128, history=2048,
+                                     indicator_window=512, n_calibration=10)
+        watcher = LiveWatcher(monitor, writer=EventStreamWriter(keep=True),
+                              sample_every=8)
+        watcher.attach(machine)
+        machine.run()
+        end = watcher.finalize()
+        return machine, watcher, end
+
+    def test_stream_valid_and_alarm_precedes_crash(self, watched_run):
+        machine, watcher, end = watched_run
+        counts = validate_stream(watcher.writer.events)
+        assert counts["alarm"] == 1
+        assert counts["crash"] == 1
+        assert end["alarm_time"] < end["crash_time"]
+        assert end["lead_time"] > 0
+        assert end["crash_time"] == pytest.approx(machine.crash_time)
+
+    def test_watcher_saw_every_sample(self, watched_run):
+        machine, watcher, _ = watched_run
+        times, _ = machine.sampler.samples_of("AvailableBytes")
+        assert watcher.n_samples == len(times)
+
+    def test_replay_reproduces_live_detection(self, watched_run):
+        _, _, live_end = watched_run
+        from repro.memsim.scenarios import build_scenario
+        from repro.trace import read_csv, write_csv
+
+        machine = build_scenario("stress", seed=7, max_run_seconds=20_000.0)
+        result = machine.run()
+        monitor = OnlineAgingMonitor(chunk_size=128, history=2048,
+                                     indicator_window=512, n_calibration=10)
+        watcher = LiveWatcher(monitor, writer=EventStreamWriter(keep=True),
+                              sample_every=0)
+        end = watcher.replay(result.bundle)
+        assert end["alarm_time"] == live_end["alarm_time"]
+        assert end["crash_time"] == pytest.approx(live_end["crash_time"])
+        header = watcher.writer.events[0]
+        assert header["source"]["type"] == "replay"
+
+    def test_replay_unknown_counter_rejected(self, watched_run):
+        machine, _, _ = watched_run
+
+        monitor = fast_monitor()
+        watcher = LiveWatcher(monitor, counter="NoSuchCounter")
+        # Rebuild a bundle from the machine's sampler.
+        from repro.memsim.scenarios import build_scenario
+
+        m2 = build_scenario("stress", seed=3, max_run_seconds=300.0)
+        result = m2.run()
+        with pytest.raises(TraceError, match="NoSuchCounter"):
+            watcher.replay(result.bundle)
+
+
+class TestRoundTrip:
+    def test_read_events_validates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with open(path, "w") as handle:
+            writer = EventStreamWriter(handle)
+            watcher = LiveWatcher(fast_monitor(), writer=writer, counter="x")
+            watcher.write_header({"type": "test"})
+            watcher.feed(0.0, 1.0)
+            watcher.finalize()
+        events = read_events(path)
+        assert events[0]["kind"] == "header"
+        assert events[-1]["kind"] == "end"
+
+    def test_read_events_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "header"\n')
+        with pytest.raises(TraceError, match="bad JSON"):
+            read_events(path)
+
+    def test_prometheus_export(self):
+        from repro.obs.export import watch_events_to_prometheus
+
+        watcher = make_watcher()
+        watcher.write_header({"type": "test"})
+        watcher.feed(0.0, 1.0)
+        watcher.finalize(crash_time=10.0, crash_reason="memory")
+        text = watch_events_to_prometheus(watcher.writer.events)
+        assert "repro_watch_events_total" in text
+        assert 'repro_watch_crash_time_seconds' in text
+
+
+class TestSamplerCursor:
+    def test_read_since(self):
+        from repro.memsim.scenarios import build_scenario
+
+        machine = build_scenario("stress", seed=5, max_run_seconds=300.0)
+        machine.run()
+        sampler = machine.sampler
+        times, values, cursor = sampler.read_since("AvailableBytes", 0)
+        assert len(times) == len(values) == cursor > 0
+        tail_t, tail_v, cursor2 = sampler.read_since("AvailableBytes", cursor)
+        assert tail_t == [] or len(tail_t) == cursor2 - cursor
+        with pytest.raises(TraceError, match="non-negative"):
+            sampler.read_since("AvailableBytes", -1)

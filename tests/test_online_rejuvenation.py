@@ -80,6 +80,69 @@ class TestOnlineMonitor:
         with pytest.raises(ValidationError):
             OnlineAgingMonitor(indicator="median")
 
+    def test_history_shorter_than_wavelet_support_rejected(self):
+        # The Hölder estimator needs ~4 samples per unit of its largest
+        # wavelet scale; a shorter rolling history could never produce a
+        # single valid estimate and must fail loudly at construction,
+        # not degrade into silence (or noise) at runtime.
+        with pytest.raises(AnalysisError, match="wavelet"):
+            OnlineAgingMonitor(history=256, indicator_window=128,
+                               chunk_size=64,
+                               holder_kwargs={"max_scale": 128.0})
+        # Shrinking max_scale to fit the short history is the fix.
+        OnlineAgingMonitor(history=256, indicator_window=128, chunk_size=64,
+                           holder_kwargs={"max_scale": 32.0})
+
+    def test_nonfinite_samples_rejected(self):
+        monitor = fast_monitor()
+        monitor.update(0.0, 1.0)
+        for bad_t, bad_v in ((float("nan"), 1.0), (float("inf"), 1.0),
+                             (1.0, float("nan")), (1.0, float("-inf"))):
+            with pytest.raises(AnalysisError, match="finite"):
+                monitor.update(bad_t, bad_v)
+        # The stream survives the rejected pushes.
+        monitor.update(1.0, 2.0)
+        assert monitor.n_samples == 2
+        assert not monitor.alarmed
+
+    def test_no_alarm_before_calibration_completes(self):
+        # Even a wildly degrading signal must not alarm while the
+        # detector is still collecting its calibration points: the
+        # baseline does not exist yet, so any alarm would be spurious.
+        monitor = fast_monitor(n_calibration=10)
+        rng = np.random.default_rng(11)
+        x = np.cumsum(rng.standard_normal(4096) * np.linspace(1, 200, 4096))
+        states = []
+        monitor.on_state_change = lambda t, old, new: states.append(new)
+        for i, value in enumerate(x):
+            monitor.update(float(i), float(value))
+            if not monitor.calibrated:
+                assert not monitor.alarmed
+                assert monitor.alarm_time is None
+        # Lifecycle order is buffering -> calibrating -> watching (-> alarmed);
+        # "alarmed" must never appear before "watching".
+        assert "calibrating" in states
+        if "alarmed" in states:
+            assert states.index("alarmed") > states.index("watching")
+
+    def test_state_property_lifecycle(self):
+        monitor = fast_monitor()
+        assert monitor.state == "buffering"
+        x = fbm(6000, 0.6, rng=np.random.default_rng(12))
+        monitor.update_many(np.arange(x.size, dtype=float), x)
+        assert monitor.state == "watching"
+        assert monitor.calibrated
+
+    def test_callbacks_fire(self):
+        monitor = fast_monitor()
+        points, transitions = [], []
+        monitor.on_indicator = lambda t, v: points.append((t, v))
+        monitor.on_state_change = lambda t, old, new: transitions.append((old, new))
+        x = fbm(3000, 0.6, rng=np.random.default_rng(13))
+        monitor.update_many(np.arange(x.size, dtype=float), x)
+        assert len(points) == monitor.indicator_history.size
+        assert ("buffering", "calibrating") in transitions
+
 
 class TestMemoryReset:
     def test_reset_clears_user_state(self):
