@@ -18,10 +18,11 @@ import numpy as np
 from .._validation import check_choice, check_positive, check_positive_int
 from ..core import analyze_counter
 from ..core.detectors import DetectorConfig
-from ..exceptions import ValidationError
+from ..exceptions import AnalysisError, ValidationError
 from ..memsim.scenarios import SCENARIO_NAMES, build_scenario
 from ..obs import get_logger
 from ..obs import session as _obs
+from ..perf.pool import parallel_map, resolve_workers
 from ..stats.roc import DetectionOutcome, score_detections
 
 _log = get_logger("analysis.campaign")
@@ -124,47 +125,59 @@ class CellResult:
         return float(np.median(leads)) if leads else float("nan")
 
 
-def run_cell(spec: ExperimentSpec) -> CellResult:
-    """Execute one cell: fleet, analysis, aggregation."""
-    _log.info("cell starting", cell=spec.name, scenario=spec.scenario,
-              profile=spec.profile, n_runs=spec.n_runs)
-    records: List[RunRecord] = []
-    for i in range(spec.n_runs):
-        seed = spec.base_seed + i
-        with _obs.span("cell-run", cell=spec.name, run_index=i, seed=seed):
-            machine = _build(spec, seed)
-            result = machine.run()
+def _execute_run(spec: ExperimentSpec, run_index: int) -> RunRecord:
+    """Simulate and analyse one seeded run of a cell.
 
-            alarm_time: Optional[float] = None
-            try:
-                analysis = analyze_counter(
-                    result.bundle[spec.counter],
-                    indicator=spec.indicator,
-                    detector_config=spec.detector,
-                )
-                alarm_time = analysis.alarm.alarm_time
-            except Exception:
-                alarm_time = None  # too-short run or degenerate counter
-                _obs.counter("campaign.analysis_failures").inc()
+    The single source of truth for per-run work: both the sequential
+    loop and the process pool call exactly this, with the seed derived
+    deterministically from (``base_seed``, ``run_index``) — which is
+    what makes ``workers=N`` output bit-identical to ``workers=1``.
+    """
+    seed = spec.base_seed + run_index
+    with _obs.span("cell-run", cell=spec.name, run_index=run_index, seed=seed):
+        machine = _build(spec, seed)
+        result = machine.run()
 
-        lead = None
-        if alarm_time is not None and result.crash_time is not None:
-            lead = result.crash_time - alarm_time
-        records.append(RunRecord(
-            seed=seed,
-            crashed=result.crashed,
-            crash_time=result.crash_time,
-            crash_reason=result.crash_reason,
-            alarm_time=alarm_time,
-            lead_time=lead,
-            duration=result.duration,
-        ))
-        _obs.counter("campaign.runs_completed").inc()
-        _log.info("run finished", cell=spec.name, run=f"{i + 1}/{spec.n_runs}",
-                  seed=seed, crashed=result.crashed,
-                  alarm_time=alarm_time if alarm_time is not None else "none",
-                  lead_time=lead if lead is not None else "none")
+        alarm_time: Optional[float] = None
+        try:
+            analysis = analyze_counter(
+                result.bundle[spec.counter],
+                indicator=spec.indicator,
+                detector_config=spec.detector,
+            )
+            alarm_time = analysis.alarm.alarm_time
+        except (AnalysisError, ValidationError) as exc:
+            # Expected on too-short runs or degenerate counters; anything
+            # else (a real bug) must propagate, especially off a worker.
+            alarm_time = None
+            _obs.counter("campaign.analysis_failures").inc()
+            _log.warning("counter analysis failed; scoring run as no-alarm",
+                         cell=spec.name, seed=seed,
+                         error_type=type(exc).__name__, error=str(exc))
 
+    lead = None
+    if alarm_time is not None and result.crash_time is not None:
+        lead = result.crash_time - alarm_time
+    record = RunRecord(
+        seed=seed,
+        crashed=result.crashed,
+        crash_time=result.crash_time,
+        crash_reason=result.crash_reason,
+        alarm_time=alarm_time,
+        lead_time=lead,
+        duration=result.duration,
+    )
+    _obs.counter("campaign.runs_completed").inc()
+    _log.info("run finished", cell=spec.name,
+              run=f"{run_index + 1}/{spec.n_runs}",
+              seed=seed, crashed=result.crashed,
+              alarm_time=alarm_time if alarm_time is not None else "none",
+              lead_time=lead if lead is not None else "none")
+    return record
+
+
+def _aggregate_cell(spec: ExperimentSpec, records: List[RunRecord]) -> CellResult:
+    """Fold a cell's run records into its :class:`CellResult`."""
     crashed = [r for r in records if r.crashed]
     if crashed:
         outcome = score_detections(
@@ -177,11 +190,24 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
     false_alarms = sum(
         1 for r in records if not r.crashed and r.alarm_time is not None
     )
-    _log.info("cell finished", cell=spec.name,
-              crashed=sum(1 for r in records if r.crashed),
+    _log.info("cell finished", cell=spec.name, crashed=len(crashed),
               false_alarms=false_alarms)
     return CellResult(spec=spec, runs=records, outcome=outcome,
                       false_alarms=false_alarms)
+
+
+def _campaign_unit(unit) -> RunRecord:
+    """Pool entry point: one (spec, run_index) work item."""
+    spec, run_index = unit
+    return _execute_run(spec, run_index)
+
+
+def run_cell(spec: ExperimentSpec) -> CellResult:
+    """Execute one cell: fleet, analysis, aggregation."""
+    _log.info("cell starting", cell=spec.name, scenario=spec.scenario,
+              profile=spec.profile, n_runs=spec.n_runs)
+    records = [_execute_run(spec, i) for i in range(spec.n_runs)]
+    return _aggregate_cell(spec, records)
 
 
 def cells_payload(results: Dict[str, CellResult]) -> Dict[str, dict]:
@@ -219,14 +245,46 @@ def cells_payload(results: Dict[str, CellResult]) -> Dict[str, dict]:
     return payload
 
 
-def run_campaign(specs: List[ExperimentSpec]) -> Dict[str, CellResult]:
-    """Run every cell; returns results keyed by spec name."""
+def run_campaign(
+    specs: List[ExperimentSpec],
+    *,
+    workers: int = 1,
+) -> Dict[str, CellResult]:
+    """Run every cell; returns results keyed by spec name.
+
+    ``workers > 1`` fans the campaign's (cell, run) work units across a
+    process pool (:func:`repro.perf.pool.parallel_map`): every unit is
+    seeded from its (``base_seed``, ``run_index``) alone, results are
+    reassembled in submission order and aggregated by the same code as
+    the sequential loop, so the returned :class:`CellResult` values —
+    and the :func:`cells_payload` built from them — are bit-identical
+    to a ``workers=1`` run.  Per-worker telemetry (counters, spans,
+    events) is merged back into the calling session.
+    """
     if not specs:
         raise ValidationError("campaign needs at least one spec")
     names = [s.name for s in specs]
     if len(set(names)) != len(names):
         raise ValidationError(f"duplicate spec names in campaign: {names}")
-    results: Dict[str, CellResult] = {}
+
+    workers = resolve_workers(workers)
+    units = [(spec, i) for spec in specs for i in range(spec.n_runs)]
+    if workers > 1 and len(units) > 1:
+        _log.info("campaign starting (parallel)", cells=len(specs),
+                  units=len(units), workers=workers)
+        with _obs.span("campaign-pool", cells=len(specs),
+                       units=len(units), workers=workers):
+            flat = parallel_map(_campaign_unit, units,
+                                workers=workers, label="campaign-worker")
+        results: Dict[str, CellResult] = {}
+        cursor = 0
+        for spec in specs:
+            records = flat[cursor:cursor + spec.n_runs]
+            cursor += spec.n_runs
+            results[spec.name] = _aggregate_cell(spec, records)
+        return results
+
+    results = {}
     for k, spec in enumerate(specs):
         _log.info("campaign progress", cell=spec.name,
                   position=f"{k + 1}/{len(specs)}")

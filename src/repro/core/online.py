@@ -59,6 +59,12 @@ class OnlineAgingMonitor:
         CUSUM allowance and decision threshold, in baseline sigmas.
     holder_kwargs:
         Extra arguments for :func:`repro.core.holder.wavelet_holder`.
+    holder_engine:
+        ``"batch"`` recomputes the full-window Hölder trajectory per
+        emit; ``"sliding"`` computes only the ``indicator_window`` tail
+        through :class:`repro.perf.sliding_cwt.SlidingHolderEstimator`
+        — same indicator points to machine precision, a fraction of the
+        CWT work.
     on_indicator:
         Optional callback ``(time, value)`` invoked for every indicator
         point (live watchers stream these).
@@ -76,6 +82,7 @@ class OnlineAgingMonitor:
     cusum_k: float = 1.5
     cusum_h: float = 8.0
     holder_kwargs: dict = field(default_factory=dict)
+    holder_engine: str = "batch"
     on_indicator: Optional[Callable[[float, float], None]] = None
     on_state_change: Optional[Callable[[float, str, str], None]] = None
 
@@ -97,6 +104,21 @@ class OnlineAgingMonitor:
                 f"support: need at least 4 * max_scale = {4 * max_scale:.0f} "
                 f"samples"
             )
+        check_choice(self.holder_engine, name="holder_engine",
+                     choices=("batch", "sliding"))
+        self._sliding = None
+        if self.holder_engine == "sliding":
+            # Imported here, not at module top: repro.perf sits above
+            # repro.core in the layer diagram.
+            from ..perf.sliding_cwt import SlidingHolderEstimator
+
+            try:
+                self._sliding = SlidingHolderEstimator(
+                    tail=self.indicator_window, **self.holder_kwargs)
+            except TypeError as exc:
+                raise AnalysisError(
+                    f"holder_kwargs not supported by the sliding engine: {exc}"
+                ) from exc
         self._times: List[float] = []
         self._values: List[float] = []
         self._since_recompute = 0
@@ -188,17 +210,72 @@ class OnlineAgingMonitor:
         return self.alarmed
 
     def update_many(self, times, values) -> bool:
-        """Push a batch of samples; returns True when the alarm is up."""
-        for t, v in zip(times, values):
-            self.update(t, v)
+        """Push a batch of samples; returns True when the alarm is up.
+
+        Equivalent to calling :meth:`update` per sample — identical
+        indicator points, state transitions and callback invocations at
+        the same sample times — but validated with one vectorised pass
+        and appended in bulk, advancing straight from one emit boundary
+        to the next.  Unlike the per-sample path, an invalid batch
+        (non-finite or out-of-order samples) is rejected *whole*, before
+        anything is consumed.
+        """
+        if not hasattr(times, "__len__"):
+            times = list(times)
+        if not hasattr(values, "__len__"):
+            values = list(values)
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.ndim != 1 or v.ndim != 1 or t.size != v.size:
+            raise AnalysisError(
+                f"times and values must be 1-D and equally long "
+                f"(got {t.shape} and {v.shape})"
+            )
+        if t.size == 0:
+            return self.alarmed
+        if not np.all(np.isfinite(t)) or not np.all(np.isfinite(v)):
+            raise AnalysisError(
+                "samples must be finite; drop or impute collector gaps "
+                "before feeding the monitor"
+            )
+        if (self._times and t[0] <= self._times[-1]) \
+                or np.any(np.diff(t) <= 0):
+            raise AnalysisError("samples must arrive in strict time order")
+
+        i = 0
+        n = int(t.size)
+        while i < n:
+            # Samples until the next possible emit: the chunk stride and
+            # the history fill must *both* be satisfied, so the binding
+            # constraint is their max (>= 1 keeps degenerate configs
+            # moving).  This reproduces the per-sample emit positions
+            # exactly.
+            need = max(self.chunk_size - self._since_recompute,
+                       self.history - len(self._values), 1)
+            take = min(need, n - i)
+            before = self.state
+            self._times.extend(t[i:i + take].tolist())
+            self._values.extend(v[i:i + take].tolist())
+            self._since_recompute += take
+            if (self._since_recompute >= self.chunk_size
+                    and len(self._values) >= self.history):
+                self._since_recompute = 0
+                self._emit_indicator_point()
+            after = self.state
+            if after != before and self.on_state_change is not None:
+                self.on_state_change(float(t[i + take - 1]), before, after)
+            i += take
         return self.alarmed
 
     # -- internals ---------------------------------------------------------------
 
     def _emit_indicator_point(self) -> None:
         window = np.asarray(self._values[-self.history:])
-        h = wavelet_holder(window, **self.holder_kwargs)
-        recent = h[-self.indicator_window:]
+        if self._sliding is not None:
+            recent = self._sliding.holder_tail(window)
+        else:
+            h = wavelet_holder(window, **self.holder_kwargs)
+            recent = h[-self.indicator_window:]
         point = float(np.mean(recent)) if self.indicator == "mean" \
             else float(np.var(recent))
         self._indicator_points.append(point)

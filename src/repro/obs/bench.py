@@ -3,8 +3,9 @@
 ``python -m repro bench`` runs a curated suite of microbenchmarks over
 the library's hot paths — the stress-to-crash fleet, the Hölder
 trajectory, the multifractal estimators (WTMM, MF-DFA, the sliding
-spectrum), the wavelet transforms, the raw event engine and the full
-``analyze_counter`` pipeline — and freezes the numbers into a versioned
+spectrum), the wavelet transforms, the raw event engine, the full
+``analyze_counter`` pipeline, the process-pool campaign fan-out and the
+sliding-engine online stream — and freezes the numbers into a versioned
 trajectory file::
 
     BENCH_<YYYYMMDD>_<gitsha7>.json
@@ -110,8 +111,11 @@ def _case_memsim_fleet(quick: bool) -> Callable[[], int]:
     budget = 4_000.0 if quick else 20_000.0
 
     def run() -> int:
+        # workers=1 keeps this trajectory a pure single-core simulator
+        # measurement; the pool is timed by campaign.parallel instead.
         results = run_fleet(
-            MachineConfig.nt4(seed=1, max_run_seconds=budget), n_runs)
+            MachineConfig.nt4(seed=1, max_run_seconds=budget), n_runs,
+            workers=1)
         return sum(
             len(r.bundle[name]) for r in results for name in r.bundle.names)
 
@@ -213,6 +217,112 @@ def _case_analyze_pipeline(quick: bool) -> Callable[[], int]:
     return run
 
 
+def _case_campaign_parallel(quick: bool) -> Callable[[], int]:
+    """Process-pool campaign fan-out, gated on equivalence + speedup.
+
+    Setup runs the sequential reference once and the pooled campaign
+    once: the payloads must be bit-identical, and on machines with >= 4
+    cores the pooled run must be meaningfully faster (loose floor; the
+    strict determinism contract lives in the test suite).  The timed
+    iteration is the pooled campaign alone, so the trajectory tracks
+    pool efficiency.
+    """
+    from ..analysis.campaign import ExperimentSpec, cells_payload, run_campaign
+    from ..exceptions import AnalysisError
+
+    n_cells, n_runs, budget = (2, 2, 800.0) if quick else (4, 8, 1_200.0)
+    specs = [
+        ExperimentSpec(
+            name=f"cell{i}", scenario="stress", n_runs=n_runs,
+            base_seed=100 + 10 * i, fault_factor=1.0 + 0.25 * i,
+            max_run_seconds=budget,
+        )
+        for i in range(n_cells)
+    ]
+    workers = min(4, os.cpu_count() or 1)
+
+    t0 = time.perf_counter()
+    sequential = run_campaign(specs, workers=1)
+    wall_seq = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pooled = run_campaign(specs, workers=workers)
+    wall_pool = time.perf_counter() - t0
+    if cells_payload(sequential) != cells_payload(pooled):
+        raise AnalysisError(
+            "parallel campaign diverged from sequential reference")
+    speedup = wall_seq / wall_pool if wall_pool > 0 else float("inf")
+    _log.info("campaign pool speedup", workers=workers,
+              sequential_s=round(wall_seq, 3), pooled_s=round(wall_pool, 3),
+              speedup=round(speedup, 2))
+    if not quick and workers >= 4 and speedup < 1.5:
+        raise AnalysisError(
+            f"campaign pool speedup {speedup:.2f}x with {workers} workers "
+            "is below the 1.5x floor (target: 2x on 4 cores)"
+        )
+
+    def run() -> int:
+        run_campaign(specs, workers=workers)
+        return n_cells * n_runs
+
+    return run
+
+
+def _case_online_stream(quick: bool) -> Callable[[], int]:
+    """Online monitor streaming on the sliding Hölder engine.
+
+    Setup replays the same stream through the batch and sliding engines
+    under a private telemetry session: indicator points and alarm time
+    must agree, and the sliding engine must spend >= 5x fewer CWT FLOPs
+    (the ``fractal.cwt_flops`` counter).  The timed iteration is the
+    sliding-engine feed — the live ``watch`` hot path.
+    """
+    import numpy as np
+
+    from ..core.online import OnlineAgingMonitor
+    from ..exceptions import AnalysisError
+    from ..generators import fgn
+    from .session import telemetry_session
+
+    n = 12_288 if quick else 24_576
+    noise = fgn(n, 0.75, rng=np.random.default_rng(21))
+    values = np.cumsum(noise)
+    times = np.arange(n, dtype=float)
+
+    def feed(engine: str):
+        monitor = OnlineAgingMonitor(holder_engine=engine)
+        with telemetry_session() as session:
+            monitor.update_many(times, values)
+            flops = session.metrics.counter("fractal.cwt_flops").value
+        return monitor, flops
+
+    batch, flops_batch = feed("batch")
+    sliding, flops_sliding = feed("sliding")
+    if not np.allclose(batch.indicator_history, sliding.indicator_history,
+                       rtol=1e-9, atol=1e-8):
+        raise AnalysisError(
+            "sliding engine indicator points diverged from batch engine")
+    if batch.alarm_time != sliding.alarm_time:
+        raise AnalysisError(
+            f"sliding engine alarm time {sliding.alarm_time} differs from "
+            f"batch {batch.alarm_time}"
+        )
+    ratio = flops_batch / flops_sliding if flops_sliding else float("inf")
+    _log.info("online stream flops", batch=flops_batch,
+              sliding=flops_sliding, ratio=round(ratio, 2))
+    if ratio < 5.0:
+        raise AnalysisError(
+            f"sliding engine CWT FLOP reduction {ratio:.2f}x is below "
+            "the required 5x"
+        )
+
+    def run() -> int:
+        monitor = OnlineAgingMonitor(holder_engine="sliding")
+        monitor.update_many(times, values)
+        return n
+
+    return run
+
+
 SUITE: Tuple[BenchCase, ...] = (
     BenchCase("simkernel.events", "simkernel",
               "event-engine churn: 20 self-rescheduling timer chains",
@@ -238,6 +348,13 @@ SUITE: Tuple[BenchCase, ...] = (
     BenchCase("core.pipeline", "core",
               "full analyze_counter chain (preprocess→Hölder→detector)",
               _case_analyze_pipeline),
+    BenchCase("campaign.parallel", "perf",
+              "process-pool campaign fan-out (equivalence + speedup gated)",
+              _case_campaign_parallel),
+    BenchCase("online.stream", "perf",
+              "online monitor stream on the sliding Hölder engine "
+              "(>=5x CWT FLOP reduction gated)",
+              _case_online_stream),
 )
 
 

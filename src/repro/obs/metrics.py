@@ -173,6 +173,35 @@ class Histogram:
             out[label] = None if empty else self.quantile(q)
         return out
 
+    def merge_summary(self, summary: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        Count, total, min and max merge exactly.  The full observation
+        stream is gone once summarised, so the donor's quantile points
+        are folded into the reservoir as representative samples — the
+        merged quantiles are approximate (the summary bounds stay exact).
+        Used to carry per-worker telemetry across a process boundary.
+        """
+        donor_count = int(summary.get("count") or 0)
+        if donor_count == 0:
+            return
+        self.count += donor_count
+        self.total += float(summary.get("total") or 0.0)
+        donor_min = summary.get("min")
+        donor_max = summary.get("max")
+        if donor_min is not None and donor_min < self.min:
+            self.min = float(donor_min)
+        if donor_max is not None and donor_max > self.max:
+            self.max = float(donor_max)
+        for q in self.QUANTILES:
+            label = f"p{q * 100:g}".replace(".", "_")
+            point = summary.get(label)
+            if point is not None:
+                self._reservoir.append(float(point))
+        if len(self._reservoir) >= self.RESERVOIR_CAP:
+            del self._reservoir[::2]
+            self._stride *= 2
+
 
 class Timer(Histogram):
     """Histogram of wall-clock durations, usable as a context manager::
@@ -301,6 +330,36 @@ class MetricsRegistry:
             name: self._instruments[name].snapshot()
             for name in sorted(self._instruments)
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how worker-process telemetry survives the pool
+        boundary: counters add, gauges keep the later write but the
+        larger max, histograms/timers merge their summaries
+        (:meth:`Histogram.merge_summary`).  A disabled registry ignores
+        the merge, matching every other write path.
+        """
+        if not self.enabled:
+            return
+        for name, state in snapshot.items():
+            kind = state.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(state.get("value") or 0.0))
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(float(state.get("value") or 0.0))
+                donor_max = state.get("max")
+                if donor_max is not None and donor_max > gauge.max_value:
+                    gauge.max_value = float(donor_max)
+            elif kind == "histogram":
+                self.histogram(name).merge_summary(state)
+            elif kind == "timer":
+                self.timer(name).merge_summary(state)
+            else:
+                raise ValidationError(
+                    f"cannot merge metric {name!r} of unknown type {kind!r}"
+                )
 
     def reset(self) -> None:
         """Drop every instrument (new run, fresh numbers)."""

@@ -181,6 +181,43 @@ class SpanCollector:
         """JSON-able records, entry order (manifest payload)."""
         return [r.to_dict() for r in self._records]
 
+    def ingest(self, records: List[dict], *, prefix: Optional[str] = None) -> int:
+        """Adopt span dicts recorded by another collector (another process).
+
+        Worker collectors start their own ``perf_counter`` epoch, so the
+        imported timings are rebased: the batch is shifted so its latest
+        end lands at this collector's *now*, keeping durations and the
+        workers' internal ordering exact while their absolute placement
+        is only as good as "they finished just before the merge".  With
+        ``prefix`` every imported path is nested under ``prefix/`` so
+        worker trees stay distinguishable in the parent's stage tree.
+        Returns the number of records adopted.
+        """
+        if not self.enabled or not records:
+            return 0
+        latest = max(
+            (r["end"] if r.get("end") is not None else r["start"])
+            for r in records
+        )
+        shift = (time.perf_counter() - self.epoch) - latest
+        for r in records:
+            path = r["path"]
+            depth = int(r["depth"])
+            if prefix:
+                path = f"{prefix}/{path}"
+                depth += 1
+            end = r.get("end")
+            self._records.append(SpanRecord(
+                name=r["name"],
+                path=path,
+                depth=depth,
+                start=r["start"] + shift,
+                end=None if end is None else end + shift,
+                status=r.get("status", "open"),
+                attrs=dict(r.get("attrs") or {}),
+            ))
+        return len(records)
+
     def reset(self) -> None:
         """Drop all records and restart the epoch."""
         if self._stack:

@@ -269,3 +269,36 @@ class TestCampaign:
         assert all(r["crashed"] for r in aging["runs"])
         assert payload["healthy"]["median_lead"] is None
         json.dumps(payload)  # must serialise without default= hooks
+
+
+class TestRunCellErrorHandling:
+    """The analyze_counter fallback must swallow only expected failures."""
+
+    SPEC = ExperimentSpec(name="tiny", n_runs=1, base_seed=2,
+                          max_run_seconds=9_000.0)
+
+    def test_expected_analysis_failure_scores_no_alarm(self, monkeypatch):
+        from repro.analysis import campaign as campaign_mod
+        from repro.obs import session as _obs
+
+        def bust(*args, **kwargs):
+            raise AnalysisError("window too short")
+
+        monkeypatch.setattr(campaign_mod, "analyze_counter", bust)
+        with _obs.telemetry_session() as session:
+            result = campaign_mod.run_cell(self.SPEC)
+            failures = session.metrics.counter(
+                "campaign.analysis_failures").value
+        assert result.runs[0].alarm_time is None
+        assert result.runs[0].lead_time is None
+        assert failures == 1
+
+    def test_unexpected_exception_propagates(self, monkeypatch):
+        from repro.analysis import campaign as campaign_mod
+
+        def crash(*args, **kwargs):
+            raise ZeroDivisionError("a genuine bug")
+
+        monkeypatch.setattr(campaign_mod, "analyze_counter", crash)
+        with pytest.raises(ZeroDivisionError):
+            campaign_mod.run_cell(self.SPEC)

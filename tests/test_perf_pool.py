@@ -1,0 +1,208 @@
+"""Tests for repro.perf.pool and the parallel campaign/fleet paths."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import ExperimentSpec, cells_payload, run_campaign
+from repro.exceptions import ValidationError
+from repro.memsim import MachineConfig, run_fleet
+from repro.obs import session as _obs
+from repro.perf.pool import parallel_map, resolve_workers
+
+
+def _square(x):
+    return x * x
+
+
+def _instrumented(x):
+    _obs.counter("worker.calls").inc()
+    _obs.histogram("worker.load").observe(float(x))
+    _obs.record_event("worker_item", item=x)
+    with _obs.span("unit", item=x):
+        pass
+    return x + 1
+
+
+def _explode(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestResolveWorkers:
+    def test_none_means_all_cores(self):
+        import os
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_workers(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            resolve_workers(-2)
+
+
+class TestParallelMap:
+    def test_sequential_path(self):
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], workers=4) == []
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, workers=4) == [i * i for i in items]
+
+    def test_parallel_matches_sequential(self):
+        items = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert (parallel_map(_square, items, workers=4)
+                == parallel_map(_square, items, workers=1))
+
+    def test_unpicklable_fn_falls_back_to_sequential(self):
+        with _obs.telemetry_session() as session:
+            out = parallel_map(lambda x: x + 1, [1, 2, 3], workers=4)
+            fallbacks = session.metrics.counter("perf.pool.fallbacks").value
+        assert out == [2, 3, 4]
+        assert fallbacks == 1
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_explode, [1, 2], workers=2)
+
+    def test_worker_telemetry_merges_into_parent(self):
+        with _obs.telemetry_session() as session:
+            out = parallel_map(_instrumented, [10, 20, 30], workers=3,
+                               label="test-worker")
+            counters = session.metrics.snapshot()
+            span_paths = [r.path for r in session.spans.records]
+            events = session.events_of("worker_item")
+        assert out == [11, 21, 31]
+        assert counters["worker.calls"]["value"] == 3
+        hist = counters["worker.load"]
+        assert hist["count"] == 3
+        assert hist["total"] == 60.0
+        assert hist["min"] == 10.0 and hist["max"] == 30.0
+        assert span_paths.count("test-worker/unit") == 3
+        assert sorted(e["item"] for e in events) == [10, 20, 30]
+        # merged events stay ordered by wall time
+        walls = [e["wall_time"] for e in session.events]
+        assert walls == sorted(walls)
+
+    def test_no_telemetry_capture_when_disabled(self):
+        # no session installed: results still correct, nothing recorded
+        assert parallel_map(_square, [2, 3], workers=2) == [4, 9]
+
+
+class TestMergePrimitives:
+    def test_counter_and_gauge_merge(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        parent = MetricsRegistry()
+        parent.counter("c").inc(2)
+        parent.gauge("g").set(5.0)
+        donor = MetricsRegistry()
+        donor.counter("c").inc(3)
+        donor.gauge("g").set(1.0)
+        donor.gauge("g").set(9.0)
+        donor.gauge("g").set(4.0)
+        parent.merge_snapshot(donor.snapshot())
+        assert parent.counter("c").value == 5
+        assert parent.gauge("g").value == 4.0
+        assert parent.gauge("g").max_value == 9.0
+
+    def test_histogram_merge_exact_summary(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        parent = MetricsRegistry()
+        for v in (1.0, 2.0):
+            parent.histogram("h").observe(v)
+        donor = MetricsRegistry()
+        for v in (0.5, 10.0, 3.0):
+            donor.histogram("h").observe(v)
+        parent.merge_snapshot(donor.snapshot())
+        h = parent.histogram("h")
+        assert h.count == 5
+        assert h.total == 16.5
+        assert h.min == 0.5 and h.max == 10.0
+
+    def test_unknown_metric_type_rejected(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        with pytest.raises(ValidationError):
+            MetricsRegistry().merge_snapshot({"x": {"type": "mystery"}})
+
+    def test_span_ingest_rebases_and_prefixes(self):
+        from repro.obs.spans import SpanCollector
+
+        donor = SpanCollector()
+        with donor.span("outer"):
+            with donor.span("inner", k=1):
+                pass
+        parent = SpanCollector()
+        n = parent.ingest(donor.to_list(), prefix="w0")
+        assert n == 2
+        recs = parent.records
+        assert [r.path for r in recs] == ["w0/outer", "w0/outer/inner"]
+        assert [r.depth for r in recs] == [1, 2]
+        assert recs[1].attrs == {"k": 1}
+        for donor_rec, rec in zip(donor.records, recs):
+            assert rec.duration == pytest.approx(donor_rec.duration)
+        # imported spans land in the parent's past, not its future
+        now = __import__("time").perf_counter() - parent.epoch
+        assert all(r.end <= now for r in recs)
+
+    def test_span_ingest_noop_when_disabled_or_empty(self):
+        from repro.obs.spans import SpanCollector
+
+        assert SpanCollector().ingest([]) == 0
+        off = SpanCollector(enabled=False)
+        assert off.ingest([{"name": "x", "path": "x", "depth": 0,
+                            "start": 0.0, "end": 1.0}]) == 0
+
+
+@pytest.fixture(scope="module")
+def determinism_specs():
+    return [
+        ExperimentSpec(name="aging", scenario="stress", n_runs=2,
+                       base_seed=21, max_run_seconds=25_000.0),
+        ExperimentSpec(name="healthy", scenario="stress", n_runs=2,
+                       base_seed=21, fault_factor=0.0,
+                       max_run_seconds=8_000.0),
+    ]
+
+
+class TestCampaignDeterminism:
+    def test_workers4_bit_identical_to_workers1(self, determinism_specs):
+        sequential = run_campaign(determinism_specs, workers=1)
+        parallel = run_campaign(determinism_specs, workers=4)
+        assert list(sequential) == list(parallel)
+        for name in sequential:
+            assert sequential[name] == parallel[name]
+        assert cells_payload(sequential) == cells_payload(parallel)
+
+    def test_parallel_campaign_merges_worker_telemetry(self, determinism_specs):
+        with _obs.telemetry_session() as session:
+            run_campaign(determinism_specs, workers=2)
+            snapshot = session.metrics.snapshot()
+            paths = [r.path for r in session.spans.records]
+        assert snapshot["campaign.runs_completed"]["value"] == 4
+        assert snapshot["perf.pool.units"]["value"] == 4
+        assert any(p.startswith("campaign-worker/") for p in paths)
+
+
+class TestFleetWorkers:
+    def test_fleet_workers_bit_identical(self):
+        config = MachineConfig.nt4(seed=5, max_run_seconds=4_000.0)
+        seq = run_fleet(config, 2, workers=1)
+        par = run_fleet(config, 2, workers=2)
+        assert len(seq) == len(par) == 2
+        for a, b in zip(seq, par):
+            assert a.crashed == b.crashed
+            assert a.crash_time == b.crash_time
+            assert a.duration == b.duration
+            assert a.bundle.names == b.bundle.names
+            for name in a.bundle.names:
+                np.testing.assert_array_equal(
+                    a.bundle[name].values, b.bundle[name].values)

@@ -165,3 +165,117 @@ class TestCwt:
         out = cwt(x, [4.0])
         interior = out[0][64:-64]
         assert np.max(np.abs(interior)) < 1e-6 * np.max(np.abs(x))
+
+
+class TestDaubechiesCacheImmutability:
+    def test_cached_filter_is_read_only(self):
+        h = daubechies_filter(4)
+        assert not h.flags.writeable
+        with pytest.raises(ValueError):
+            h[0] = 0.0
+
+    def test_caller_mutation_cannot_corrupt_cache(self):
+        first = daubechies_filter(3).copy()
+        h = daubechies_filter(3)
+        with pytest.raises(ValueError):
+            h *= 0.0
+        np.testing.assert_array_equal(daubechies_filter(3), first)
+
+    def test_haar_also_frozen(self):
+        assert not daubechies_filter(1).flags.writeable
+
+
+def _legacy_cwt(x, scales, *, wavelet="mexican_hat", dog_order=2):
+    """The pre-plan-cache reference: per-scale kernels, per-scale ifft."""
+    from repro.fractal.wavelets import _dog_wavelet_hat, _morlet_wavelet_hat
+
+    x = np.asarray(x, dtype=float)
+    scales = np.asarray(scales, dtype=float)
+    n = x.size
+    padded = np.concatenate([x, x[::-1]])
+    spectrum = np.fft.fft(padded)
+    omega = 2.0 * np.pi * np.fft.fftfreq(padded.size)
+    is_complex = wavelet == "morlet"
+    out = np.empty((scales.size, n), dtype=complex if is_complex else float)
+    for i, a in enumerate(scales):
+        if wavelet == "morlet":
+            hat = _morlet_wavelet_hat(omega, a)
+        else:
+            order = 2 if wavelet == "mexican_hat" else dog_order
+            hat = _dog_wavelet_hat(omega, a, order)
+        conv = np.fft.ifft(spectrum * np.conj(hat))[:n]
+        out[i] = conv if is_complex else conv.real
+    return out
+
+
+class TestWaveletPlanCache:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        from repro.fractal.wavelets import clear_wavelet_plan_cache
+
+        clear_wavelet_plan_cache()
+        yield
+        clear_wavelet_plan_cache()
+
+    @pytest.mark.parametrize("wavelet,order", [
+        ("mexican_hat", 2), ("dog", 4), ("morlet", 2),
+    ])
+    def test_bit_identical_to_per_scale_loop(self, rng, wavelet, order):
+        x = np.cumsum(rng.standard_normal(777))
+        scales = np.geomspace(2.0, 64.0, 9)
+        batched = cwt(x, scales, wavelet=wavelet, dog_order=order)
+        legacy = _legacy_cwt(x, scales, wavelet=wavelet, dog_order=order)
+        np.testing.assert_array_equal(batched, legacy)
+
+    def test_repeat_calls_hit_the_cache(self, rng):
+        from repro.fractal.wavelets import wavelet_plan_cache_info
+
+        x = rng.standard_normal(256)
+        scales = [2.0, 4.0, 8.0]
+        cwt(x, scales)
+        cwt(x, scales)
+        cwt(x, scales)
+        info = wavelet_plan_cache_info()
+        assert info["misses"] == 1
+        assert info["hits"] == 2
+        assert info["entries"] == 1
+        assert info["bytes"] == 3 * 512 * 16
+
+    def test_distinct_configs_get_distinct_plans(self, rng):
+        from repro.fractal.wavelets import wavelet_plan_cache_info
+
+        x = rng.standard_normal(256)
+        cwt(x, [2.0, 4.0])
+        cwt(x, [2.0, 4.0], wavelet="morlet")
+        cwt(x, [3.0, 6.0])
+        cwt(rng.standard_normal(128), [2.0, 4.0])
+        assert wavelet_plan_cache_info()["misses"] == 4
+
+    def test_lru_eviction_bounds_the_cache(self, rng):
+        from repro.fractal.wavelets import (
+            _PLAN_CACHE_MAX,
+            wavelet_plan_cache_info,
+        )
+
+        x = rng.standard_normal(128)
+        for k in range(_PLAN_CACHE_MAX + 3):
+            cwt(x, [2.0 + 0.5 * k, 8.0 + k])
+        info = wavelet_plan_cache_info()
+        assert info["entries"] == _PLAN_CACHE_MAX
+        assert info["misses"] == _PLAN_CACHE_MAX + 3
+
+    def test_evicted_plan_rebuilt_identically(self, rng):
+        from repro.fractal.wavelets import _PLAN_CACHE_MAX
+
+        x = rng.standard_normal(128)
+        first = cwt(x, [2.0, 4.0])
+        for k in range(_PLAN_CACHE_MAX + 1):
+            cwt(x, [3.0 + k, 9.0 + k])
+        np.testing.assert_array_equal(cwt(x, [2.0, 4.0]), first)
+
+    def test_plan_kernels_frozen(self, rng):
+        from repro.fractal.wavelets import _PLAN_CACHE
+
+        cwt(rng.standard_normal(128), [2.0, 4.0])
+        plan = next(iter(_PLAN_CACHE.values()))
+        assert not plan.kernels.flags.writeable
