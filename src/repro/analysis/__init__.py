@@ -17,16 +17,27 @@ from .campaign import (
     ExperimentSpec,
     RunRecord,
     CellResult,
+    CampaignOutcome,
+    MissingUnit,
+    campaign_fingerprint,
     cells_payload,
+    execute_campaign,
     run_campaign,
 )
+from .checkpoint import CampaignJournal, config_fingerprint
 from .results import save_results, load_results, results_table
 
 __all__ = [
     "ExperimentSpec",
     "RunRecord",
     "CellResult",
+    "CampaignOutcome",
+    "MissingUnit",
+    "CampaignJournal",
+    "campaign_fingerprint",
+    "config_fingerprint",
     "cells_payload",
+    "execute_campaign",
     "run_campaign",
     "save_results",
     "load_results",

@@ -10,7 +10,9 @@ API for downstream parameter studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import asdict, dataclass, field
+from functools import partial
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -18,12 +20,14 @@ import numpy as np
 from .._validation import check_choice, check_positive, check_positive_int
 from ..core import analyze_counter
 from ..core.detectors import DetectorConfig
-from ..exceptions import AnalysisError, ValidationError
+from ..exceptions import AnalysisError, ExecutionError, ValidationError
 from ..memsim.scenarios import SCENARIO_NAMES, build_scenario
 from ..obs import get_logger
 from ..obs import session as _obs
-from ..perf.pool import parallel_map, resolve_workers
+from ..perf.pool import resilient_map, resolve_workers
 from ..stats.roc import DetectionOutcome, score_detections
+from ..testing.chaos import ChaosError, ChaosSpec, chaos_pre_unit
+from .checkpoint import CampaignJournal, config_fingerprint
 
 _log = get_logger("analysis.campaign")
 
@@ -245,52 +249,233 @@ def cells_payload(results: Dict[str, CellResult]) -> Dict[str, dict]:
     return payload
 
 
-def run_campaign(
-    specs: List[ExperimentSpec],
-    *,
-    workers: int = 1,
-) -> Dict[str, CellResult]:
-    """Run every cell; returns results keyed by spec name.
+@dataclass(frozen=True)
+class MissingUnit:
+    """One (cell, run) unit that failed permanently during execution."""
 
-    ``workers > 1`` fans the campaign's (cell, run) work units across a
-    process pool (:func:`repro.perf.pool.parallel_map`): every unit is
-    seeded from its (``base_seed``, ``run_index``) alone, results are
-    reassembled in submission order and aggregated by the same code as
-    the sequential loop, so the returned :class:`CellResult` values —
-    and the :func:`cells_payload` built from them — are bit-identical
-    to a ``workers=1`` run.  Per-worker telemetry (counters, spans,
-    events) is merged back into the calling session.
+    cell: str
+    run_index: int
+    error: str
+
+
+@dataclass
+class CampaignOutcome:
+    """What a resilient campaign execution produced.
+
+    ``status`` is ``"complete"`` when every (cell, run) unit finished,
+    ``"incomplete"`` when some failed permanently — in which case
+    ``missing`` names each one (and ``missing_cells`` the affected
+    cells), ``results`` aggregates whatever *did* finish, and a
+    ``--resume`` against the same journal will execute exactly the
+    missing units.
     """
+
+    results: Dict[str, CellResult]
+    status: str
+    missing: List[MissingUnit] = field(default_factory=list)
+    executed_units: int = 0
+    resumed_units: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when no unit is missing."""
+        return self.status == "complete"
+
+    @property
+    def missing_cells(self) -> List[str]:
+        """Names of cells with at least one missing run, in spec order."""
+        seen: List[str] = []
+        for unit in self.missing:
+            if unit.cell not in seen:
+                seen.append(unit.cell)
+        return seen
+
+
+def campaign_fingerprint(specs: List[ExperimentSpec]) -> str:
+    """Fingerprint of a campaign's full configuration (specs + seeds).
+
+    Keys the checkpoint journal: a journal written by one campaign can
+    never be resumed against a different one.
+    """
+    return config_fingerprint([asdict(spec) for spec in specs])
+
+
+def unit_key(spec: ExperimentSpec, run_index: int) -> str:
+    """Journal key of one (cell, run) work unit."""
+    return f"{spec.name}#{run_index}"
+
+
+def _validate_specs(specs: List[ExperimentSpec]) -> None:
     if not specs:
         raise ValidationError("campaign needs at least one spec")
     names = [s.name for s in specs]
     if len(set(names)) != len(names):
         raise ValidationError(f"duplicate spec names in campaign: {names}")
 
+
+def execute_campaign(
+    specs: List[ExperimentSpec],
+    *,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff_base: float = 0.5,
+    backoff_cap: float = 30.0,
+    journal: Optional[str | os.PathLike] = None,
+    resume: bool = False,
+    chaos: Optional[ChaosSpec] = None,
+    allow_partial: bool = False,
+) -> CampaignOutcome:
+    """Run a campaign with crash tolerance; returns a
+    :class:`CampaignOutcome`.
+
+    The campaign's (cell, run) work units execute through
+    :func:`repro.perf.pool.resilient_map`: ``workers > 1`` fans them
+    across a process pool, each unit seeded from its (``base_seed``,
+    ``run_index``) alone and reassembled in submission order, so results
+    are bit-identical to sequential.  ``timeout`` bounds each unit's
+    wall clock (parallel mode only) and ``retries`` re-runs units whose
+    worker died, hung, or raised a transient :class:`ChaosError`, with
+    exponential backoff — a retried unit recomputes the identical
+    record, so resilience never perturbs results.
+
+    ``journal`` names an append-only checkpoint file
+    (:class:`~repro.analysis.checkpoint.CampaignJournal`): every
+    completed unit is journaled (fsynced) the moment it finishes, keyed
+    by a fingerprint of the campaign configuration.  ``resume=True``
+    loads it first and executes only the units it is missing; because
+    units are deterministic, an interrupted-then-resumed campaign's
+    outcome is bit-identical to an uninterrupted run's.
+
+    ``chaos`` injects faults (see :class:`repro.testing.chaos.ChaosSpec`)
+    — the dev/test harness proving all of the above.
+
+    Units that fail permanently (budget exhausted) raise
+    :class:`~repro.exceptions.ExecutionError` unless ``allow_partial``
+    is set, in which case the outcome comes back ``"incomplete"`` with
+    the missing units listed and every completed run aggregated.
+    """
+    _validate_specs(specs)
     workers = resolve_workers(workers)
     units = [(spec, i) for spec in specs for i in range(spec.n_runs)]
-    if workers > 1 and len(units) > 1:
-        _log.info("campaign starting (parallel)", cells=len(specs),
-                  units=len(units), workers=workers)
-        with _obs.span("campaign-pool", cells=len(specs),
-                       units=len(units), workers=workers):
-            flat = parallel_map(_campaign_unit, units,
-                                workers=workers, label="campaign-worker")
-        results: Dict[str, CellResult] = {}
-        cursor = 0
-        for spec in specs:
-            records = flat[cursor:cursor + spec.n_runs]
-            cursor += spec.n_runs
-            results[spec.name] = _aggregate_cell(spec, records)
-        return results
+    keys = [unit_key(spec, i) for spec, i in units]
+    fingerprint = campaign_fingerprint(specs)
 
-    results = {}
-    for k, spec in enumerate(specs):
-        _log.info("campaign progress", cell=spec.name,
-                  position=f"{k + 1}/{len(specs)}")
-        with _obs.span("campaign-cell", cell=spec.name):
-            results[spec.name] = run_cell(spec)
-    return results
+    completed: Dict[str, RunRecord] = {}
+    if resume:
+        if journal is None:
+            raise ValidationError("resume=True requires a journal path")
+        if os.path.exists(journal) and os.path.getsize(journal) > 0:
+            payloads = CampaignJournal.load(journal, fingerprint=fingerprint)
+            wanted = set(keys)
+            completed = {key: RunRecord(**payload)
+                         for key, payload in payloads.items()
+                         if key in wanted}
+            _obs.counter("campaign.units_resumed").inc(len(completed))
+
+    pending = [(unit, key) for unit, key in zip(units, keys)
+               if key not in completed]
+    _log.info("campaign starting", cells=len(specs), units=len(units),
+              resumed=len(completed), pending=len(pending), workers=workers,
+              fingerprint=fingerprint)
+
+    outcomes = []
+    if pending:
+        pending_units = [unit for unit, _ in pending]
+        pending_keys = [key for _, key in pending]
+        journal_handle = (CampaignJournal(journal, fingerprint=fingerprint)
+                          if journal is not None else None)
+
+        def on_result(index: int, record: RunRecord) -> None:
+            key = pending_keys[index]
+            completed[key] = record
+            if journal_handle is not None:
+                journal_handle.record_unit(key, asdict(record))
+
+        pre_unit = (partial(chaos_pre_unit, chaos)
+                    if chaos is not None else None)
+        try:
+            with _obs.span("campaign-pool", cells=len(specs),
+                           units=len(pending_units), workers=workers):
+                outcomes = resilient_map(
+                    _campaign_unit, pending_units, workers=workers,
+                    label="campaign-worker", timeout=timeout,
+                    retries=retries, backoff_base=backoff_base,
+                    backoff_cap=backoff_cap, retry_exceptions=(ChaosError,),
+                    pre_unit=pre_unit, on_result=on_result,
+                )
+        finally:
+            if journal_handle is not None:
+                journal_handle.close()
+
+        missing = [
+            MissingUnit(cell=pending_units[o.index][0].name,
+                        run_index=pending_units[o.index][1],
+                        error=o.error or "unknown failure")
+            for o in outcomes if not o.ok
+        ]
+    else:
+        missing = []
+
+    results: Dict[str, CellResult] = {}
+    for spec in specs:
+        records = [completed[unit_key(spec, i)] for i in range(spec.n_runs)
+                   if unit_key(spec, i) in completed]
+        results[spec.name] = _aggregate_cell(spec, records)
+
+    outcome = CampaignOutcome(
+        results=results,
+        status="complete" if not missing else "incomplete",
+        missing=missing,
+        executed_units=sum(1 for o in outcomes if o.ok),
+        resumed_units=len(units) - len(pending),
+    )
+    if missing:
+        _obs.counter("campaign.units_missing").inc(len(missing))
+        _log.warning("campaign incomplete", missing=len(missing),
+                     cells=",".join(outcome.missing_cells))
+        if not allow_partial:
+            detail = "; ".join(
+                f"{u.cell}#{u.run_index}: {u.error}" for u in missing[:5])
+            raise ExecutionError(
+                f"campaign incomplete: {len(missing)} unit(s) failed "
+                f"permanently across cell(s) {outcome.missing_cells} "
+                f"({detail})"
+                + (f"; completed units are journaled in {journal} — fix "
+                   f"the cause and resume" if journal is not None else "")
+            )
+    return outcome
+
+
+def run_campaign(
+    specs: List[ExperimentSpec],
+    *,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    journal: Optional[str | os.PathLike] = None,
+    resume: bool = False,
+) -> Dict[str, CellResult]:
+    """Run every cell; returns results keyed by spec name.
+
+    ``workers > 1`` fans the campaign's (cell, run) work units across a
+    process pool: every unit is seeded from its (``base_seed``,
+    ``run_index``) alone, results are reassembled in submission order
+    and aggregated by the same code as the sequential loop, so the
+    returned :class:`CellResult` values — and the
+    :func:`cells_payload` built from them — are bit-identical to a
+    ``workers=1`` run.  Per-worker telemetry (counters, spans, events)
+    is merged back into the calling session.
+
+    ``timeout``/``retries``/``journal``/``resume`` are the resilience
+    knobs, passed through to :func:`execute_campaign` (which is the
+    richer API: partial outcomes, chaos injection).  A permanent unit
+    failure raises :class:`~repro.exceptions.ExecutionError` here.
+    """
+    return execute_campaign(
+        specs, workers=workers, timeout=timeout, retries=retries,
+        journal=journal, resume=resume, allow_partial=False,
+    ).results
 
 
 def _build(spec: ExperimentSpec, seed: int):

@@ -1,0 +1,191 @@
+"""Append-only checkpoint journals for campaign execution.
+
+A campaign is hours of simulation whose parent process can itself be
+killed — the stress-to-crash methodology applies to the harness as much
+as to the hosts it simulates.  The journal makes finished work durable
+the moment it completes:
+
+* one **header** line carrying the journal schema and a fingerprint of
+  the campaign configuration (specs + seeds), so a journal can never be
+  replayed against a different campaign;
+* one **unit** line per completed work unit (``key`` + JSON payload),
+  appended with an ``fsync`` per line so a SIGKILL at any instant loses
+  at most the unit in flight.
+
+:func:`CampaignJournal.load` tolerates exactly the damage a crash can
+cause — a truncated final line — and rejects anything else (corrupt
+interior lines, foreign schemas, fingerprint mismatches) loudly.
+Because completed units are keyed by a config/seed fingerprint and the
+work itself is deterministic, ``campaign --resume`` produces a payload
+bit-identical to an uninterrupted run.
+
+The journal is deliberately campaign-agnostic (keys and JSON payloads),
+so fleet-scale tooling can reuse it for any resumable unit-of-work map.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Iterator, Optional
+
+from ..exceptions import TraceError, ValidationError
+from ..obs import session as _obs
+from ..obs.atomic import fsync_handle
+from ..obs.logger import get_logger
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "config_fingerprint",
+    "CampaignJournal",
+]
+
+JOURNAL_SCHEMA = "repro.campaign-journal/1"
+
+_log = get_logger("analysis.checkpoint")
+
+
+def config_fingerprint(config: object) -> str:
+    """Stable fingerprint of a JSON-able configuration object.
+
+    Canonical-JSON SHA-256, truncated to 16 hex chars — collisions are
+    irrelevant at that length for "is this the same campaign?" checks,
+    and short enough to read in a journal header or error message.
+    """
+    try:
+        canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    except TypeError as exc:
+        raise ValidationError(
+            f"fingerprint config must be JSON-able: {exc}") from None
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+class CampaignJournal:
+    """Append-only JSONL journal of completed work units.
+
+    Open for appending with the constructor (writes/validates the
+    header), read back with :meth:`load`.  Usable as a context manager.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fingerprint: str):
+        self.path = os.fspath(path)
+        self.fingerprint = fingerprint
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        fresh = not (os.path.exists(self.path)
+                     and os.path.getsize(self.path) > 0)
+        if not fresh:
+            # Appending to an existing journal: it must belong to this
+            # campaign.  load() validates header + fingerprint.
+            self.load(self.path, fingerprint=fingerprint)
+        self._handle = open(self.path, "a")
+        if fresh:
+            self._append({"kind": "header", "schema": JOURNAL_SCHEMA,
+                          "fingerprint": fingerprint})
+
+    def _append(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True))
+        self._handle.write("\n")
+        fsync_handle(self._handle)
+
+    def record_unit(self, key: str, payload: dict) -> None:
+        """Durably journal one completed unit (flushed + fsynced)."""
+        if not key:
+            raise ValidationError("journal unit key must be non-empty")
+        self._append({"kind": "unit", "key": key, "payload": payload})
+        _obs.counter("campaign.journal_units").inc()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    @staticmethod
+    def _lines(path: str) -> Iterator[tuple[int, str, bool]]:
+        with open(path, "r") as handle:
+            lines = handle.readlines()
+        for i, line in enumerate(lines):
+            yield i + 1, line, i == len(lines) - 1
+
+    @classmethod
+    def load(
+        cls,
+        path: str | os.PathLike,
+        *,
+        fingerprint: Optional[str] = None,
+    ) -> Dict[str, dict]:
+        """Read a journal back as ``{key: payload}``.
+
+        Validates the header schema and (when given) the campaign
+        fingerprint.  A truncated *final* line — the only damage a
+        crash mid-append can cause — is dropped with a warning and a
+        ``campaign.journal_truncated`` counter increment; a corrupt
+        interior line means the file was not written by this journal
+        and is a hard :class:`~repro.exceptions.TraceError`.  Duplicate
+        keys keep the first record (units are deterministic, so later
+        duplicates are identical re-executions).
+        """
+        path = os.fspath(path)
+        header: Optional[dict] = None
+        units: Dict[str, dict] = {}
+        for lineno, line, is_last in cls._lines(path):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if is_last:
+                    _log.warning(
+                        "dropping truncated final journal line "
+                        "(crash mid-append)", path=path, line=lineno)
+                    _obs.counter("campaign.journal_truncated").inc()
+                    continue
+                raise TraceError(
+                    f"corrupt journal line {lineno} in {path} "
+                    f"(not crash damage: interior lines are written "
+                    f"atomically per record)")
+            if not isinstance(record, dict):
+                raise TraceError(
+                    f"journal line {lineno} in {path} is not an object")
+            kind = record.get("kind")
+            if header is None:
+                if kind != "header":
+                    raise TraceError(
+                        f"{path} does not start with a journal header")
+                if record.get("schema") != JOURNAL_SCHEMA:
+                    raise TraceError(
+                        f"unsupported journal schema "
+                        f"{record.get('schema')!r} in {path} "
+                        f"(expected {JOURNAL_SCHEMA!r})")
+                if (fingerprint is not None
+                        and record.get("fingerprint") != fingerprint):
+                    raise TraceError(
+                        f"journal {path} belongs to a different campaign "
+                        f"(fingerprint {record.get('fingerprint')!r}, "
+                        f"expected {fingerprint!r}); refusing to resume")
+                header = record
+                continue
+            if kind == "unit":
+                key = record.get("key")
+                payload = record.get("payload")
+                if not isinstance(key, str) or not isinstance(payload, dict):
+                    raise TraceError(
+                        f"malformed unit record at line {lineno} in {path}")
+                units.setdefault(key, payload)
+            else:
+                # Unknown-but-well-formed kinds are skipped so newer
+                # journal writers stay readable by older tools.
+                _log.warning("skipping unknown journal record kind",
+                             path=path, line=lineno, kind=kind)
+        if header is None:
+            raise TraceError(f"{path} contains no journal header")
+        return units

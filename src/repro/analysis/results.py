@@ -14,6 +14,7 @@ from typing import Dict, List
 
 from ..core.detectors import DetectorConfig
 from ..exceptions import TraceError
+from ..obs.atomic import atomic_write_json
 from .campaign import CellResult, ExperimentSpec, RunRecord
 from ..stats.roc import DetectionOutcome
 
@@ -21,7 +22,7 @@ _SCHEMA_VERSION = 1
 
 
 def save_results(results: Dict[str, CellResult], path: str | os.PathLike) -> None:
-    """Write campaign results to a JSON file."""
+    """Write campaign results to a JSON file (atomically)."""
     payload = {
         "schema_version": _SCHEMA_VERSION,
         "cells": {
@@ -34,8 +35,7 @@ def save_results(results: Dict[str, CellResult], path: str | os.PathLike) -> Non
             for name, cell in results.items()
         },
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    atomic_write_json(path, payload)
 
 
 def load_results(path: str | os.PathLike) -> Dict[str, CellResult]:

@@ -151,6 +151,36 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--dashboard", default=None, metavar="HTML",
                       help="also render the detection-quality dashboard "
                            "to this HTML file")
+    camp.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="wall-clock budget per (cell, run) work unit; "
+                           "a unit past it is killed and retried "
+                           "(parallel mode only)")
+    camp.add_argument("--retries", type=int, default=0, metavar="N",
+                      help="re-run a unit up to N times after a worker "
+                           "death, timeout or transient failure, with "
+                           "exponential backoff; retried units recompute "
+                           "identical results (default: %(default)s)")
+    camp.add_argument("--journal", default=None, metavar="JSONL",
+                      help="append-only checkpoint journal: every finished "
+                           "unit is recorded (fsynced) the moment it "
+                           "completes, keyed to this campaign's "
+                           "config/seed fingerprint")
+    camp.add_argument("--resume", action="store_true",
+                      help="load --journal first and execute only the "
+                           "units it is missing; the final payload is "
+                           "bit-identical to an uninterrupted run")
+    camp.add_argument("--allow-partial", action="store_true",
+                      help="on permanent unit failures, report an "
+                           "'incomplete' outcome listing the missing "
+                           "units (exit 1) instead of raising")
+    camp.add_argument("--chaos", default=None, metavar="SPEC",
+                      help="dev flag: deterministically sabotage your own "
+                           "campaign's work units to exercise the "
+                           "resilience layer.  SPEC is comma-separated "
+                           "key=value pairs: kill=RATE, hang=RATE, "
+                           "raise=RATE, hang-seconds=SEC, seed=N, "
+                           "max-failures=N (e.g. "
+                           "--chaos kill=0.3,raise=0.2,seed=1)")
 
     tel = sub.add_parser("telemetry", parents=[common],
                          help="summarise or export run manifests")
@@ -376,15 +406,49 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _parse_chaos(spec: str):
+    """Parse a ``--chaos`` SPEC string into a :class:`ChaosSpec`."""
+    from .exceptions import ValidationError
+    from .testing.chaos import ChaosSpec
+
+    fields = {
+        "kill": ("kill_rate", float),
+        "hang": ("hang_rate", float),
+        "raise": ("raise_rate", float),
+        "hang-seconds": ("hang_seconds", float),
+        "seed": ("seed", int),
+        "max-failures": ("max_failures_per_unit", int),
+    }
+    kwargs = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or key not in fields:
+            raise ValidationError(
+                f"bad chaos spec item {item!r}; expected key=value with "
+                f"key one of {sorted(fields)}")
+        name, convert = fields[key]
+        try:
+            kwargs[name] = convert(value.strip())
+        except ValueError:
+            raise ValidationError(
+                f"bad chaos spec value in {item!r}") from None
+    return ChaosSpec(**kwargs)
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a two-cell campaign (aging vs healthy control) and report."""
     from .analysis import (
         ExperimentSpec,
         cells_payload,
+        execute_campaign,
         results_table,
-        run_campaign,
         save_results,
     )
+    from .exceptions import ExecutionError, ReproError
     from .report import render_table
 
     specs = [
@@ -402,11 +466,38 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     ]
     from .perf.pool import resolve_workers
 
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = _parse_chaos(args.chaos)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        scheduled = chaos.scheduled_faults(2 * args.runs)
+        print(f"chaos: sabotaging {len(scheduled)} of {2 * args.runs} "
+              f"unit(s) ({args.chaos})")
+
     workers = resolve_workers(args.workers)
     suffix = f" across {workers} workers" if workers > 1 else ""
     print(f"running {2 * args.runs} simulations "
           f"({args.scenario}/{args.profile}){suffix}...")
-    results = run_campaign(specs, workers=workers)
+    try:
+        outcome = execute_campaign(
+            specs, workers=workers, timeout=args.timeout,
+            retries=args.retries, journal=args.journal, resume=args.resume,
+            chaos=chaos, allow_partial=args.allow_partial,
+        )
+    except ExecutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        args._outcome.update(campaign_status="failed")
+        return 1
+    results = outcome.results
+    if outcome.resumed_units:
+        print(f"resumed {outcome.resumed_units} unit(s) from "
+              f"{args.journal}; executed {outcome.executed_units} fresh")
     print(render_table(
         ["cell", "runs", "crashed", "detected", "missed",
          "median_lead_s", "false_alarms"],
@@ -416,8 +507,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         save_results(results, args.out)
         print(f"results -> {args.out}")
     # Per-run records ride along in the manifest so detection-quality
-    # dashboards can be rebuilt from telemetry archives alone.
-    args._outcome.update(cells=cells_payload(results))
+    # dashboards can be rebuilt from telemetry archives alone.  So does
+    # the campaign's resilience outcome (status + any missing units).
+    args._outcome.update(
+        cells=cells_payload(results),
+        campaign_status=outcome.status,
+        missing_units=[
+            {"cell": u.cell, "run_index": u.run_index, "error": u.error}
+            for u in outcome.missing
+        ],
+    )
     if args.dashboard:
         from .obs.dashboard import render_campaign_dashboard, write_dashboard
 
@@ -426,6 +525,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             args.dashboard,
         )
         print(f"dashboard -> {path}")
+    if not outcome.complete:
+        print(f"campaign INCOMPLETE: {len(outcome.missing)} unit(s) "
+              f"missing in cell(s) {', '.join(outcome.missing_cells)}"
+              + (f"; resume with --journal {args.journal} --resume"
+                 if args.journal else ""),
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -573,11 +679,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_watch(args: argparse.Namespace) -> int:
     """Live watch: online monitor + alert rules over a stream of samples."""
     import contextlib
-    import os
 
     from .core.online import OnlineAgingMonitor
     from .exceptions import ReproError
     from .obs.alerts import AlertEngine, load_rules
+    from .obs.atomic import atomic_write
     from .obs.live import EventStreamWriter, LiveWatcher
 
     monitor = OnlineAgingMonitor(
@@ -606,11 +712,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
               f"alerts={event['alerts_fired']:<3d} {args.counter}={shown}")
 
     keep_events = bool(args.dashboard)
-    if args.events:
-        parent = os.path.dirname(os.path.abspath(args.events))
-        os.makedirs(parent, exist_ok=True)
     with contextlib.ExitStack() as stack:
-        handle = (stack.enter_context(open(args.events, "w"))
+        # The event stream is written atomically: it lands at --events in
+        # one rename when the watch session ends, so a crash mid-watch
+        # never leaves a truncated JSONL behind.
+        handle = (stack.enter_context(atomic_write(args.events))
                   if args.events else None)
         writer = EventStreamWriter(handle, keep=keep_events or handle is None)
         watcher = LiveWatcher(

@@ -49,3 +49,14 @@ class SimulationError(ReproError, RuntimeError):
 
 class TraceError(ReproError, ValueError):
     """Trace data or a trace file is malformed."""
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """A work unit failed permanently during resilient execution.
+
+    Raised when a pool unit exhausts its retry budget (timeout, worker
+    death, or a retryable exception on every attempt), or when a
+    campaign that was not asked to tolerate partial results ends with
+    missing cells.  The message names the failed units so an operator
+    can decide between ``--resume`` and investigation.
+    """

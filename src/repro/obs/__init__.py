@@ -3,6 +3,10 @@
 The observability layer of the reproduction (subsystems S14/S15 in
 DESIGN.md).  Seven pieces, composable but independently usable:
 
+* :mod:`repro.obs.atomic` — atomic write-temp-then-rename artifact
+  writes (:func:`atomic_write` and friends), shared by every durable
+  artifact writer in the library so a crash never leaves a truncated
+  file.
 * :mod:`repro.obs.logger` — structured logging under the ``"repro"``
   stdlib-logging root, with human and JSON-lines sinks
   (:func:`configure_logging`, :func:`get_logger`).
@@ -46,6 +50,12 @@ and instrumentation are free until a driver opts in::
     obs.write_manifest(manifest, "runs/seed7")
 """
 
+from .atomic import (
+    atomic_write,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_handle,
+)
 from .logger import (
     LOG_LEVELS,
     StructuredLogger,
@@ -113,6 +123,11 @@ from .live import (
 )
 
 __all__ = [
+    # atomic artifact writes
+    "atomic_write",
+    "atomic_write_text",
+    "atomic_write_json",
+    "fsync_handle",
     # logging
     "LOG_LEVELS",
     "StructuredLogger",

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import TraceError, ValidationError
+from .atomic import atomic_write_json
 from .logger import get_logger
 
 __all__ = [
@@ -525,13 +526,10 @@ def bench_filename(payload: dict) -> str:
 
 
 def write_bench_file(payload: dict, out_dir: str | os.PathLike) -> str:
-    """Write the trajectory file under ``out_dir``; returns its path."""
-    os.makedirs(out_dir, exist_ok=True)
+    """Write the trajectory file under ``out_dir`` (atomically); returns
+    its path."""
     path = os.path.join(os.fspath(out_dir), bench_filename(payload))
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=False)
-        handle.write("\n")
-    return path
+    return atomic_write_json(path, payload, sort_keys=False)
 
 
 def read_bench_file(path: str | os.PathLike) -> dict:

@@ -28,6 +28,7 @@ import os
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import TraceError, ValidationError
+from .atomic import atomic_write_text
 
 __all__ = [
     "render_run_dashboard",
@@ -733,13 +734,8 @@ def _lead_strip_chart(cells: Dict[str, dict]) -> str:
 # -- entry points --------------------------------------------------------------
 
 def write_dashboard(html_text: str, path: str | os.PathLike) -> str:
-    """Write a rendered dashboard to ``path``; returns the path."""
+    """Write a rendered dashboard to ``path`` (atomically); returns the
+    path."""
     if not html_text.startswith("<!DOCTYPE html>"):
         raise ValidationError("not a rendered dashboard (missing doctype)")
-    path = os.fspath(path)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w") as handle:
-        handle.write(html_text)
-    return path
+    return atomic_write_text(path, html_text)

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..exceptions import TraceError, ValidationError
+from .atomic import atomic_write, atomic_write_json
 from .session import TelemetrySession
 
 __all__ = [
@@ -150,17 +151,18 @@ def build_manifest(
 def write_manifest(manifest: RunManifest, out_dir: str | os.PathLike) -> str:
     """Write ``manifest.json`` + ``events.jsonl`` under ``out_dir``.
 
-    Creates the directory as needed; returns the manifest path.
+    Creates the directory as needed; returns the manifest path.  Both
+    files are written atomically (temp + rename), and the event log is
+    written *before* the manifest: a crash mid-write can never leave a
+    ``manifest.json`` pointing at a truncated or missing event log.
     """
     os.makedirs(out_dir, exist_ok=True)
     manifest_path = os.path.join(out_dir, MANIFEST_FILENAME)
-    with open(manifest_path, "w") as handle:
-        json.dump(manifest.to_dict(), handle, indent=2, default=str)
-        handle.write("\n")
-    with open(os.path.join(out_dir, EVENTS_FILENAME), "w") as handle:
+    with atomic_write(os.path.join(out_dir, EVENTS_FILENAME)) as handle:
         for event in manifest.events:
             handle.write(json.dumps(event, default=str))
             handle.write("\n")
+    atomic_write_json(manifest_path, manifest.to_dict(), default=str)
     return manifest_path
 
 

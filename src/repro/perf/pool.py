@@ -1,4 +1,5 @@
-"""Process-pool fan-out with telemetry capture and ordered reassembly.
+"""Process-pool fan-out with telemetry capture, ordered reassembly, and
+crash tolerance.
 
 :func:`parallel_map` is the one parallel primitive the library uses: it
 maps a picklable function over a list of work units across worker
@@ -6,30 +7,47 @@ processes and returns results **in input order**, so callers composing
 deterministic pipelines (campaign cells, fleet runs) get output that is
 bit-identical to the sequential loop they replaced.
 
+Resilience (:func:`resilient_map`, which :func:`parallel_map` wraps):
+work units get a per-unit wall-clock **timeout** and a bounded number of
+**retries with exponential backoff and deterministic jitter**.  A hung
+worker is SIGKILLed with its pool and the unfinished units resubmitted
+to a fresh pool; a worker that dies mid-unit (OOM killer, SIGKILL,
+``os._exit``) likewise only costs the units in flight.  Because every
+unit is a pure function of its work item (per-unit seeding, no hidden
+state), a unit that succeeds on attempt 3 returns bit-identical output
+to one that succeeds on attempt 1 — retries never perturb results.
+``perf.pool.retries`` and ``perf.pool.timeouts`` counters record how
+hard the pool had to work.
+
 Telemetry survives the process boundary: each work unit runs under a
 fresh worker-side :func:`~repro.obs.session.telemetry_session`, and the
 resulting metrics snapshot, span records and event log travel back with
 the result and are merged into the parent session
 (:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`,
-:meth:`~repro.obs.spans.SpanCollector.ingest`).  Counters and event
-logs merge exactly; histogram quantiles and span wall-clock placement
-are approximate by nature (documented on the merge methods).
+:meth:`~repro.obs.spans.SpanCollector.ingest`).  Only the successful
+attempt's telemetry is merged, so retried units contribute exactly once.
 
 Degradation is graceful and logged, never silent: ``workers=1``, a
-single work unit, unpicklable inputs, or a broken pool all fall back to
-the in-process sequential loop.  Exceptions raised *by the work
-function itself* propagate to the caller either way.
+single work unit, unpicklable inputs, or a pool that cannot even start
+all fall back to the in-process sequential loop.  Exceptions raised *by
+the work function itself* propagate to the caller either way (unless
+listed in ``retry_exceptions``).
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import random
+import time
+import zlib
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
-from ..exceptions import ValidationError
+from ..exceptions import ExecutionError, ValidationError
 from ..obs import session as _obs
 from ..obs.logger import get_logger
 from ..obs.profile import profile
@@ -39,7 +57,13 @@ _log = get_logger("perf.pool")
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["resolve_workers", "parallel_map"]
+__all__ = [
+    "UnitOutcome",
+    "backoff_delay",
+    "resolve_workers",
+    "parallel_map",
+    "resilient_map",
+]
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -52,14 +76,57 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float = 0.5,
+    cap: float = 30.0,
+    key: str = "",
+) -> float:
+    """Exponential backoff with deterministic jitter for one retry.
+
+    ``attempt`` is the attempt that just failed (1-based).  The delay is
+    ``min(cap, base * 2**(attempt-1))`` scaled by a jitter factor in
+    ``[0.5, 1.0)`` derived from ``crc32(key:attempt)`` — deterministic
+    across runs (no salted hashing), but decorrelated across units, so
+    a fleet of failed units does not thunder back in lockstep.
+    """
+    if attempt < 1:
+        raise ValidationError(f"attempt must be >= 1, got {attempt}")
+    raw = min(float(cap), float(base) * (2.0 ** (attempt - 1)))
+    seed = zlib.crc32(f"{key}:{attempt}".encode())
+    jitter = 0.5 + 0.5 * random.Random(seed).random()
+    return raw * jitter
+
+
+@dataclass
+class UnitOutcome:
+    """What happened to one work unit after all attempts."""
+
+    index: int
+    result: object = None
+    error: Optional[str] = None
+    error_kind: Optional[str] = None  # "timeout" | "worker-death" | "exception"
+    attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the unit produced a result."""
+        return self.error is None
+
+
 def _run_unit(payload):
     """Execute one work unit inside a worker process.
 
     Runs the unit under a fresh telemetry session when the parent was
     collecting, so the worker's counters/spans/events can be shipped
     home with the result instead of dying with the process.
+    ``pre_unit`` (when given) runs first — it is the fault-injection
+    hook :mod:`repro.testing.chaos` uses to kill/hang/fail units.
     """
-    fn, item, capture = payload
+    fn, item, capture, pre_unit, index, attempt = payload
+    if pre_unit is not None:
+        pre_unit(index, attempt)
     if not capture:
         return fn(item), None
     with _obs.telemetry_session() as session:
@@ -70,10 +137,6 @@ def _run_unit(payload):
             "events": list(session.events),
         }
     return result, telemetry
-
-
-def _sequential(fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
-    return [fn(item) for item in items]
 
 
 def _merge_worker_telemetry(telemetries, *, prefix: str) -> None:
@@ -93,6 +156,271 @@ def _merge_worker_telemetry(telemetries, *, prefix: str) -> None:
         session.events.sort(key=lambda e: e.get("wall_time", 0.0))
 
 
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: SIGKILL its workers, then shut it down.
+
+    Used after a per-unit timeout — a hung worker never returns, so a
+    polite ``shutdown(wait=True)`` would hang the parent with it.
+    """
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - already-dead process races
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken-pool shutdown races
+        pass
+
+
+def _mark_retry(outcome: UnitOutcome, *, retries: int, backoff_base: float,
+                backoff_cap: float, label: str) -> Optional[float]:
+    """Log/count one failed attempt; return the backoff delay if the
+    unit has retry budget left, else ``None`` (permanent failure)."""
+    if outcome.attempts > retries:
+        return None
+    _obs.counter("perf.pool.retries").inc()
+    delay = backoff_delay(outcome.attempts, base=backoff_base,
+                          cap=backoff_cap, key=f"{label}:{outcome.index}")
+    _log.warning("unit failed; retrying", unit=outcome.index,
+                 attempt=outcome.attempts, kind=outcome.error_kind,
+                 delay_s=round(delay, 3), error=outcome.error)
+    return delay
+
+
+def _sequential_attempts(
+    fn,
+    pending: List[Tuple[int, object]],
+    outcomes: List[UnitOutcome],
+    *,
+    capture: bool,
+    pre_unit,
+    on_result,
+    retries: int,
+    retry_exceptions: tuple,
+    backoff_base: float,
+    backoff_cap: float,
+    label: str,
+) -> None:
+    """In-process execution with the same retry/backoff semantics.
+
+    Per-unit wall-clock timeouts are not enforceable in-process (there
+    is no worker to kill), so ``timeout`` does not apply here; that is
+    documented on :func:`resilient_map`.  Exceptions outside
+    ``retry_exceptions`` propagate, as the plain sequential loop always
+    did.
+    """
+    telemetries = []
+    try:
+        for index, item in pending:
+            outcome = outcomes[index]
+            while True:
+                outcome.attempts += 1
+                try:
+                    result, telemetry = _run_unit(
+                        (fn, item, capture, pre_unit, index, outcome.attempts))
+                except retry_exceptions as exc:
+                    outcome.error = f"{type(exc).__name__}: {exc}"
+                    outcome.error_kind = "exception"
+                    delay = _mark_retry(outcome, retries=retries,
+                                        backoff_base=backoff_base,
+                                        backoff_cap=backoff_cap, label=label)
+                    if delay is None:
+                        break
+                    time.sleep(delay)
+                    continue
+                outcome.result = result
+                outcome.error = None
+                outcome.error_kind = None
+                telemetries.append(telemetry)
+                if on_result is not None:
+                    on_result(index, result)
+                break
+    finally:
+        _merge_worker_telemetry(telemetries, prefix=label)
+
+
+@profile("perf.resilient_map")
+def resilient_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: Optional[int] = None,
+    label: str = "worker",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff_base: float = 0.5,
+    backoff_cap: float = 30.0,
+    retry_exceptions: tuple = (),
+    pre_unit: Optional[Callable[[int, int], None]] = None,
+    on_result: Optional[Callable[[int, R], None]] = None,
+) -> List[UnitOutcome]:
+    """Map ``fn`` over ``items`` with timeouts and retries, reporting
+    per-unit outcomes instead of raising for infrastructure failures.
+
+    Returns one :class:`UnitOutcome` per item, in input order.  A unit
+    fails an attempt when it times out (``timeout`` seconds of wall
+    clock, measured from when the parent starts waiting on it), when its
+    worker process dies, or when ``fn`` raises an exception listed in
+    ``retry_exceptions``; failed attempts are retried up to ``retries``
+    times with exponential backoff (``backoff_base``/``backoff_cap``)
+    and deterministic per-unit jitter (:func:`backoff_delay`).  Units
+    that exhaust the budget come back with ``ok=False`` and an
+    ``error_kind`` of ``"timeout"``, ``"worker-death"`` or
+    ``"exception"``.
+
+    An exception *not* listed in ``retry_exceptions`` is a bug in the
+    work function, not an infrastructure failure: the current round is
+    drained (so ``on_result`` checkpoints for completed units still
+    land), then the exception propagates.
+
+    ``pre_unit(index, attempt)`` runs inside the worker before ``fn`` —
+    the chaos harness's injection point.  ``on_result(index, result)``
+    runs in the parent as each unit completes successfully — the
+    campaign journal's checkpoint hook.
+
+    Notes
+    -----
+    * Retried units are bit-identical to first-try units because ``fn``
+      is a pure function of its item; the retry machinery never feeds
+      anything else in.
+    * With ``workers=1`` (or one item, or unpicklable inputs) the whole
+      map runs in-process; ``timeout`` cannot be enforced there, but
+      ``retries``/``retry_exceptions`` still apply.
+    * After a timeout the pool's workers are SIGKILLed (a hung worker
+      never returns) and surviving units resubmitted to a fresh pool.
+      A pool break retries *every* unfinished unit's attempt counter —
+      the pool cannot tell the killer from its victims.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    retry_exceptions = tuple(retry_exceptions)
+    if timeout is not None and timeout <= 0:
+        raise ValidationError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
+
+    outcomes = [UnitOutcome(index=i) for i in range(len(items))]
+    pending: List[Tuple[int, object]] = list(enumerate(items))
+    usable = min(workers, len(items))
+
+    if usable > 1:
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(items)
+            pickle.dumps(pre_unit)
+        except Exception as exc:  # pickling errors are wildly heterogeneous
+            _log.warning(
+                "parallel map falling back to sequential: inputs not picklable",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            _obs.counter("perf.pool.fallbacks").inc()
+            usable = 1
+
+    capture = _obs.telemetry_enabled()
+    if usable <= 1:
+        _sequential_attempts(
+            fn, pending, outcomes, capture=capture, pre_unit=pre_unit,
+            on_result=on_result, retries=retries,
+            retry_exceptions=retry_exceptions, backoff_base=backoff_base,
+            backoff_cap=backoff_cap, label=label)
+        return outcomes
+
+    telemetries = []
+    fatal: Optional[BaseException] = None
+    while pending and fatal is None:
+        pool: Optional[ProcessPoolExecutor] = None
+        futures: List[Tuple[int, object, object]] = []
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(usable, len(pending)))
+            for index, item in pending:
+                attempt = outcomes[index].attempts + 1
+                futures.append((index, item, pool.submit(
+                    _run_unit, (fn, item, capture, pre_unit, index, attempt))))
+        except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
+            # The pool could not even start: an environmental problem a
+            # retry will not fix.  Run what is left in-process instead.
+            _log.warning(
+                "parallel map falling back to sequential: pool failed to start",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            _obs.counter("perf.pool.fallbacks").inc()
+            if pool is not None:
+                _kill_pool(pool)
+            _merge_worker_telemetry(telemetries, prefix=label)
+            _sequential_attempts(
+                fn, pending, outcomes, capture=capture, pre_unit=pre_unit,
+                on_result=on_result, retries=retries,
+                retry_exceptions=retry_exceptions, backoff_base=backoff_base,
+                backoff_cap=backoff_cap, label=label)
+            return outcomes
+
+        tainted = False
+        failed_round: List[Tuple[int, object]] = []
+        for index, item, future in futures:
+            outcome = outcomes[index]
+            outcome.attempts += 1
+            try:
+                result, telemetry = future.result(timeout=timeout)
+            except FutureTimeoutError:
+                future.cancel()
+                tainted = True
+                _obs.counter("perf.pool.timeouts").inc()
+                outcome.error = f"unit exceeded {timeout}s wall-clock timeout"
+                outcome.error_kind = "timeout"
+                failed_round.append((index, item))
+                continue
+            except BrokenProcessPool as exc:
+                tainted = True
+                outcome.error = f"worker process died: {exc}"
+                outcome.error_kind = "worker-death"
+                failed_round.append((index, item))
+                continue
+            except retry_exceptions as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.error_kind = "exception"
+                failed_round.append((index, item))
+                continue
+            except Exception as exc:
+                # A real bug in the work function: drain the round so
+                # completed units checkpoint, then let it propagate.
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcome.error_kind = "exception"
+                if fatal is None:
+                    fatal = exc
+                continue
+            outcome.result = result
+            outcome.error = None
+            outcome.error_kind = None
+            telemetries.append(telemetry)
+            if on_result is not None:
+                on_result(index, result)
+
+        if tainted:
+            _kill_pool(pool)
+        else:
+            pool.shutdown(wait=True)
+
+        pending = []
+        delays = []
+        for index, item in failed_round:
+            delay = _mark_retry(outcomes[index], retries=retries,
+                                backoff_base=backoff_base,
+                                backoff_cap=backoff_cap, label=label)
+            if delay is not None:
+                pending.append((index, item))
+                delays.append(delay)
+        if pending and fatal is None:
+            time.sleep(max(delays))
+
+    _obs.gauge("perf.pool.workers").set(usable)
+    _obs.counter("perf.pool.units").inc(len(items))
+    _merge_worker_telemetry(telemetries, prefix=label)
+    if fatal is not None:
+        raise fatal
+    return outcomes
+
+
 @profile("perf.parallel_map")
 def parallel_map(
     fn: Callable[[T], R],
@@ -100,6 +428,13 @@ def parallel_map(
     *,
     workers: Optional[int] = None,
     label: str = "worker",
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff_base: float = 0.5,
+    backoff_cap: float = 30.0,
+    retry_exceptions: tuple = (),
+    pre_unit: Optional[Callable[[int, int], None]] = None,
+    on_result: Optional[Callable[[int, R], None]] = None,
 ) -> List[R]:
     """Map ``fn`` over ``items`` across processes, preserving input order.
 
@@ -107,7 +442,8 @@ def parallel_map(
     ----------
     fn:
         Module-level (picklable) function of one work unit.  Exceptions
-        it raises propagate to the caller.
+        it raises propagate to the caller (unless retried away via
+        ``retry_exceptions``).
     items:
         Work units; each must be picklable for the parallel path.
     workers:
@@ -115,50 +451,61 @@ def parallel_map(
         sequential loop in-process.
     label:
         Span-path prefix for telemetry imported from workers.
+    timeout, retries, backoff_base, backoff_cap, retry_exceptions, \
+pre_unit, on_result:
+        Resilience knobs, passed through to :func:`resilient_map`.
 
     Returns
     -------
     ``[fn(item) for item in items]`` — exactly, whichever path ran.
 
+    Raises
+    ------
+    The work function's own exception for a non-retryable failure, or
+    :class:`~repro.exceptions.ExecutionError` when a unit exhausted its
+    timeout/retry budget.  Callers that want partial results instead of
+    an exception use :func:`resilient_map` directly.
+
     Notes
     -----
     Falls back to the sequential loop (with a logged warning and a
     ``perf.pool.fallbacks`` counter increment) when the inputs do not
-    pickle or the pool breaks; determinism is unaffected because the
-    two paths compute the identical thing.
+    pickle or the pool cannot start; with ``retries=0`` and no
+    ``timeout``, a mid-run worker death also falls back rather than
+    failing (the sequential loop computes the identical thing).
     """
-    items = list(items)
-    workers = resolve_workers(workers)
-    usable = min(workers, len(items))
-    if usable <= 1:
-        return _sequential(fn, items)
+    outcomes = resilient_map(
+        fn, items, workers=workers, label=label, timeout=timeout,
+        retries=retries, backoff_base=backoff_base, backoff_cap=backoff_cap,
+        retry_exceptions=retry_exceptions, pre_unit=pre_unit,
+        on_result=on_result,
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if not failed:
+        return [o.result for o in outcomes]
 
-    try:
-        pickle.dumps(fn)
-        pickle.dumps(items)
-    except Exception as exc:  # pickling errors are wildly heterogeneous
+    if (retries == 0 and timeout is None
+            and all(o.error_kind == "worker-death" for o in failed)):
+        # Historical graceful-degradation path: a broken pool without a
+        # retry budget falls back to computing in-process.
         _log.warning(
-            "parallel map falling back to sequential: inputs not picklable",
-            error=f"{type(exc).__name__}: {exc}",
+            "parallel map falling back to sequential: pool broke mid-run",
+            failed_units=len(failed),
         )
         _obs.counter("perf.pool.fallbacks").inc()
-        return _sequential(fn, items)
-
-    capture = _obs.telemetry_enabled()
-    payloads = [(fn, item, capture) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=usable) as pool:
-            futures = [pool.submit(_run_unit, p) for p in payloads]
-            pairs = [f.result() for f in futures]
-    except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
-        _log.warning(
-            "parallel map falling back to sequential: pool failed",
-            error=f"{type(exc).__name__}: {exc}",
-        )
-        _obs.counter("perf.pool.fallbacks").inc()
-        return _sequential(fn, items)
-
-    _obs.gauge("perf.pool.workers").set(usable)
-    _obs.counter("perf.pool.units").inc(len(items))
-    _merge_worker_telemetry((t for _, t in pairs), prefix=label)
-    return [result for result, _ in pairs]
+        items = list(items)
+        _sequential_attempts(
+            fn, [(o.index, items[o.index]) for o in failed], outcomes,
+            capture=_obs.telemetry_enabled(), pre_unit=pre_unit,
+            on_result=on_result, retries=retries,
+            retry_exceptions=retry_exceptions, backoff_base=backoff_base,
+            backoff_cap=backoff_cap, label=label)
+        still = [o for o in outcomes if not o.ok]
+        if not still:
+            return [o.result for o in outcomes]
+        failed = still
+    summary = "; ".join(
+        f"unit {o.index}: {o.error} ({o.attempts} attempt(s))"
+        for o in failed[:5])
+    raise ExecutionError(
+        f"{len(failed)} work unit(s) failed permanently: {summary}")

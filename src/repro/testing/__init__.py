@@ -1,0 +1,28 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.chaos` is the fault-injection harness that proves
+the resilience layer (pool retries/timeouts, campaign checkpoint
+journals, atomic artifact writes) actually survives the failures it
+claims to: worker kills, hangs, transient exceptions and torn writes.
+It ships in the package (not just the test tree) because the
+``campaign --chaos`` dev flag and downstream users' own test suites
+need it importable.
+"""
+
+from .chaos import (
+    ChaosError,
+    ChaosSpec,
+    TornWriteError,
+    TornWriter,
+    chaos_pre_unit,
+    slow_write,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosSpec",
+    "TornWriteError",
+    "TornWriter",
+    "chaos_pre_unit",
+    "slow_write",
+]

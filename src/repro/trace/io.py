@@ -24,9 +24,22 @@ from typing import Dict
 import numpy as np
 
 from ..exceptions import TraceError
+from ..obs.atomic import atomic_write
 from .series import TimeSeries, TraceBundle
 
 _METADATA_PREFIX = "# "
+
+
+def _fmt(x: float) -> str:
+    """Shortest decimal string that round-trips ``x`` exactly.
+
+    ``repr(float)`` is the shortest-repr algorithm (17 significant
+    digits when needed), so distinct floats always render distinctly —
+    ``%.10g`` collapsed epoch-scale timestamps like ``1e9 + 0.25`` and
+    ``1e9 + 0.5`` onto the same string, producing files that failed
+    their own strictly-increasing-times validation on read-back.
+    """
+    return repr(float(x))
 
 
 def write_csv(bundle: TraceBundle, path: str | os.PathLike) -> None:
@@ -47,16 +60,16 @@ def write_csv(bundle: TraceBundle, path: str | os.PathLike) -> None:
         col[idx] = ts.values
         columns[name] = col
 
-    with open(path, "w", newline="") as handle:
+    with atomic_write(path, newline="") as handle:
         for key in sorted(bundle.metadata):
             handle.write(f"{_METADATA_PREFIX}{key}={bundle.metadata[key]}\n")
         writer = csv.writer(handle)
         writer.writerow(["time", *names])
         for i, t in enumerate(grid):
-            row = [f"{t:.10g}"]
+            row = [_fmt(t)]
             for name in names:
                 v = columns[name][i]
-                row.append("" if np.isnan(v) else f"{v:.10g}")
+                row.append("" if np.isnan(v) else _fmt(v))
             writer.writerow(row)
 
 
@@ -104,6 +117,16 @@ def read_csv(path: str | os.PathLike) -> TraceBundle:
         cells.append(row[1:])
 
     grid = np.asarray(times, dtype=float)
+    if grid.size >= 2:
+        diffs = np.diff(grid)
+        if np.any(diffs == 0):
+            dup = float(grid[1:][diffs == 0][0])
+            raise TraceError(
+                f"duplicate time rows in {path}: t={dup!r} appears more "
+                f"than once (each sample time must be a single row)"
+            )
+        if np.any(diffs < 0):
+            raise TraceError(f"time rows in {path} are not increasing")
     bundle = TraceBundle(metadata=metadata)
     for j, name in enumerate(names):
         raw = [r[j] for r in cells]

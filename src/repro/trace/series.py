@@ -192,6 +192,50 @@ class TraceBundle:
     series: Dict[str, TimeSeries] = field(default_factory=dict)
     metadata: Dict[str, float | str] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Accept a name -> TimeSeries mapping or any iterable of
+        # TimeSeries (keyed by each series' name).  A plain list used to
+        # be silently stored, so ``bundle[name]`` later died with
+        # ``TypeError: list indices must be integers``.
+        if isinstance(self.series, Mapping):
+            coerced: Dict[str, TimeSeries] = {}
+            for name, ts in self.series.items():
+                if not isinstance(ts, TimeSeries):
+                    raise ValidationError(
+                        f"series[{name!r}] must be a TimeSeries, "
+                        f"got {type(ts).__name__}"
+                    )
+                if ts.name != name:
+                    ts = TimeSeries(times=ts.times, values=ts.values,
+                                    name=name, units=ts.units)
+                coerced[name] = ts
+        else:
+            try:
+                items = list(self.series)
+            except TypeError:
+                raise ValidationError(
+                    f"series must be a mapping or an iterable of "
+                    f"TimeSeries, got {type(self.series).__name__}"
+                ) from None
+            coerced = {}
+            for ts in items:
+                if not isinstance(ts, TimeSeries):
+                    raise ValidationError(
+                        f"series items must be TimeSeries, "
+                        f"got {type(ts).__name__}"
+                    )
+                if ts.name in coerced:
+                    raise TraceError(
+                        f"bundle already contains a series named {ts.name!r}"
+                    )
+                coerced[ts.name] = ts
+        self.series = coerced
+        if not isinstance(self.metadata, Mapping):
+            raise ValidationError(
+                f"metadata must be a mapping, got {type(self.metadata).__name__}"
+            )
+        self.metadata = dict(self.metadata)
+
     def add(self, ts: TimeSeries) -> None:
         """Insert a series, keyed by its name.  Duplicate names are an error."""
         if ts.name in self.series:

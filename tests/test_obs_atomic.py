@@ -1,0 +1,101 @@
+"""Atomic artifact writes: torn writes must never be visible at the
+destination path, failed writes must leave nothing behind."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.atomic import (
+    atomic_write,
+    atomic_write_json,
+    atomic_write_text,
+    fsync_handle,
+)
+from repro.testing.chaos import TornWriteError, TornWriter
+
+
+def no_tmp_orphans(directory) -> bool:
+    return not [n for n in os.listdir(directory) if n.endswith(".tmp")]
+
+
+class TestAtomicWrite:
+    def test_success_replaces_path(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as handle:
+            handle.write("payload")
+        assert path.read_text() == "payload"
+        assert no_tmp_orphans(tmp_path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "out.txt"
+        with atomic_write(path) as handle:
+            handle.write("x")
+        assert path.read_text() == "x"
+
+    def test_destination_absent_until_body_completes(self, tmp_path):
+        path = tmp_path / "late.txt"
+        with atomic_write(path) as handle:
+            handle.write("almost")
+            assert not path.exists()
+        assert path.exists()
+
+    def test_exception_leaves_no_file(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("partial")
+                raise RuntimeError("crash mid-write")
+        assert not path.exists()
+        assert no_tmp_orphans(tmp_path)
+
+    def test_exception_preserves_previous_version(self, tmp_path):
+        path = tmp_path / "keep.txt"
+        path.write_text("v1")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as handle:
+                handle.write("v2 but torn")
+                raise RuntimeError("crash mid-write")
+        assert path.read_text() == "v1"
+        assert no_tmp_orphans(tmp_path)
+
+    def test_torn_write_leaves_destination_untouched(self, tmp_path):
+        # The chaos harness' TornWriter dies partway through writing —
+        # the atomic contract says the destination never shows it.
+        path = tmp_path / "torn.txt"
+        path.write_text("intact")
+        with pytest.raises(TornWriteError):
+            with atomic_write(path) as handle:
+                torn = TornWriter(handle, fail_after_bytes=4)
+                torn.write("this write will tear")
+        assert path.read_text() == "intact"
+        assert no_tmp_orphans(tmp_path)
+
+
+class TestHelpers:
+    def test_atomic_write_text(self, tmp_path):
+        path = tmp_path / "t.txt"
+        assert atomic_write_text(path, "hello") == str(path)
+        assert path.read_text() == "hello"
+
+    def test_atomic_write_json_round_trips_floats(self, tmp_path):
+        payload = {"t": 1.7e9 + 0.25, "values": [1 / 3, 2**53 - 1.0]}
+        path = tmp_path / "p.json"
+        atomic_write_json(path, payload)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == payload
+
+    def test_atomic_write_json_default_hook(self, tmp_path):
+        path = tmp_path / "d.json"
+        atomic_write_json(path, {"path": tmp_path}, default=str)
+        assert json.loads(path.read_text())["path"] == str(tmp_path)
+
+    def test_fsync_handle_tolerates_non_file(self, tmp_path):
+        import io
+
+        fsync_handle(io.StringIO())  # must not raise
+
+        with open(tmp_path / "f.txt", "w") as handle:
+            handle.write("x")
+            fsync_handle(handle)

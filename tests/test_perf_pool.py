@@ -1,17 +1,31 @@
 """Tests for repro.perf.pool and the parallel campaign/fleet paths."""
 
+import time
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.analysis.campaign import ExperimentSpec, cells_payload, run_campaign
-from repro.exceptions import ValidationError
+from repro.exceptions import ExecutionError, ValidationError
 from repro.memsim import MachineConfig, run_fleet
 from repro.obs import session as _obs
-from repro.perf.pool import parallel_map, resolve_workers
+from repro.perf.pool import (
+    backoff_delay,
+    parallel_map,
+    resilient_map,
+    resolve_workers,
+)
+from repro.testing.chaos import ChaosError, ChaosSpec, chaos_pre_unit
 
 
 def _square(x):
     return x * x
+
+
+def _sleep_for(seconds):
+    time.sleep(seconds)
+    return seconds
 
 
 def _instrumented(x):
@@ -206,3 +220,120 @@ class TestFleetWorkers:
             for name in a.bundle.names:
                 np.testing.assert_array_equal(
                     a.bundle[name].values, b.bundle[name].values)
+
+
+class TestBackoffDelay:
+    def test_deterministic_for_same_key_and_attempt(self):
+        a = backoff_delay(2, key="campaign:3")
+        b = backoff_delay(2, key="campaign:3")
+        assert a == b
+
+    def test_jitter_decorrelates_units(self):
+        delays = {backoff_delay(1, key=f"unit:{i}") for i in range(8)}
+        assert len(delays) > 1
+
+    def test_exponential_growth_and_cap(self):
+        base = [backoff_delay(n, base=1.0, cap=8.0, key="k") for n in (1, 2, 3, 4, 5, 6)]
+        # raw schedule 1, 2, 4, 8, 8, 8 scaled by jitter in [0.5, 1.0)
+        for n, delay in zip((1, 2, 3, 4, 5, 6), base):
+            raw = min(8.0, 2.0 ** (n - 1))
+            assert 0.5 * raw <= delay < raw
+
+    def test_bad_attempt_rejected(self):
+        with pytest.raises(ValidationError):
+            backoff_delay(0)
+
+
+class TestResilientMap:
+    def test_all_ok_outcomes(self):
+        outcomes = resilient_map(_square, [2, 3, 4], workers=1)
+        assert [o.result for o in outcomes] == [4, 9, 16]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_transient_exception_retried_to_success(self):
+        # every unit raises ChaosError on attempt 1, runs clean on attempt 2
+        chaos = ChaosSpec(raise_rate=1.0, seed=1)
+        with _obs.telemetry_session() as session:
+            outcomes = resilient_map(
+                _square, [2, 3], workers=1, retries=1, backoff_base=0.01,
+                retry_exceptions=(ChaosError,),
+                pre_unit=partial(chaos_pre_unit, chaos))
+            retries = session.metrics.counter("perf.pool.retries").value
+        assert [o.result for o in outcomes] == [4, 9]
+        assert all(o.ok and o.attempts == 2 for o in outcomes)
+        assert retries == 2
+
+    def test_budget_exhausted_reports_failure(self):
+        chaos = ChaosSpec(raise_rate=1.0, seed=1, max_failures_per_unit=99)
+        outcomes = resilient_map(
+            _square, [2, 3], workers=1, retries=1, backoff_base=0.01,
+            retry_exceptions=(ChaosError,),
+            pre_unit=partial(chaos_pre_unit, chaos))
+        assert all(not o.ok for o in outcomes)
+        assert all(o.error_kind == "exception" for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)
+        assert all("injected" in o.error for o in outcomes)
+
+    def test_non_retryable_exception_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            resilient_map(_explode, [1, 2], workers=1,
+                          retry_exceptions=(ChaosError,))
+
+    def test_killed_workers_retried_bit_identical(self):
+        # kill_rate=1: every worker dies mid-unit on attempt 1 (os._exit,
+        # like the OOM killer); with a retry budget the fresh attempts
+        # must produce exactly what a calm run produces.
+        chaos = ChaosSpec(kill_rate=1.0, seed=3)
+        with _obs.telemetry_session() as session:
+            outcomes = resilient_map(
+                _square, [2, 3, 4], workers=2, retries=2, backoff_base=0.01,
+                pre_unit=partial(chaos_pre_unit, chaos))
+            retries = session.metrics.counter("perf.pool.retries").value
+        assert [o.result for o in outcomes] == [4, 9, 16]
+        assert all(o.ok for o in outcomes)
+        assert all(o.attempts >= 2 for o in outcomes)
+        assert retries >= 3
+
+    def test_hung_unit_times_out_and_fails_permanently(self):
+        with _obs.telemetry_session() as session:
+            outcomes = resilient_map(
+                _sleep_for, [30.0, 0.01], workers=2, timeout=1.0,
+                retries=1, backoff_base=0.01)
+            timeouts = session.metrics.counter("perf.pool.timeouts").value
+        hung, quick = outcomes
+        assert not hung.ok
+        assert hung.error_kind == "timeout"
+        assert hung.attempts == 2
+        assert "wall-clock timeout" in hung.error
+        assert timeouts == 2
+        assert quick.ok and quick.result == 0.01
+
+    def test_on_result_checkpoints_successes(self):
+        seen = []
+        resilient_map(_square, [5, 6], workers=1,
+                      on_result=lambda i, r: seen.append((i, r)))
+        assert sorted(seen) == [(0, 25), (1, 36)]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            resilient_map(_square, [1], timeout=0.0)
+        with pytest.raises(ValidationError):
+            resilient_map(_square, [1], retries=-1)
+
+    def test_parallel_map_raises_execution_error_when_budget_spent(self):
+        chaos = ChaosSpec(raise_rate=1.0, seed=2, max_failures_per_unit=99)
+        with pytest.raises(ExecutionError, match="failed permanently"):
+            parallel_map(_square, [1, 2], workers=1,
+                         retry_exceptions=(ChaosError,),
+                         pre_unit=partial(chaos_pre_unit, chaos))
+
+    def test_parallel_map_worker_death_fallback_still_works(self):
+        # Historical behavior: no retry budget + mid-run worker death
+        # falls back to computing in-process (attempt 2 runs clean).
+        chaos = ChaosSpec(kill_rate=1.0, seed=5)
+        with _obs.telemetry_session() as session:
+            out = parallel_map(_square, [2, 3, 4], workers=2,
+                               pre_unit=partial(chaos_pre_unit, chaos))
+            fallbacks = session.metrics.counter("perf.pool.fallbacks").value
+        assert out == [4, 9, 16]
+        assert fallbacks >= 1

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import TraceError
 from repro.trace import TimeSeries, TraceBundle, read_csv, write_csv
@@ -97,6 +98,90 @@ class TestErrors:
         path.write_text("time,a\n")
         with pytest.raises(TraceError, match="no data rows"):
             read_csv(path)
+
+
+class TestEpochScalePrecision:
+    """Regression: times were written with ``%.10g`` (10 significant
+    digits), so epoch-scale timestamps like ``1.7e9 + 0.25`` and
+    ``1.7e9 + 0.5`` collapsed onto the same string — producing duplicate
+    rows that failed read-back validation, or silently shifted samples."""
+
+    def test_epoch_scale_times_round_trip_exactly(self, tmp_path):
+        t0 = 1.7e9  # a 2023-ish Unix timestamp
+        times = [t0 + 0.25, t0 + 0.5, t0 + 0.75]
+        bundle = TraceBundle()
+        bundle.add(TimeSeries(times=times, values=[1.0, 2.0, 3.0], name="e"))
+        path = tmp_path / "epoch.csv"
+        write_csv(bundle, path)
+        back = read_csv(path)
+        np.testing.assert_array_equal(back["e"].times, np.asarray(times))
+
+    def test_near_equal_times_do_not_produce_duplicate_rows(self, tmp_path):
+        # Two counters sampled 0.25 s apart at epoch scale: under %.10g
+        # both rows printed the same time, so the file carried duplicate
+        # time rows.  Full precision keeps them distinct union-grid rows.
+        bundle = TraceBundle()
+        bundle.add(TimeSeries(times=[1.7e9 + 0.25], values=[1.0], name="x"))
+        bundle.add(TimeSeries(times=[1.7e9 + 0.5], values=[2.0], name="y"))
+        path = tmp_path / "near.csv"
+        write_csv(bundle, path)
+        rows = [line for line in path.read_text().splitlines()
+                if not line.startswith(("#", "time"))]
+        assert len(rows) == 2
+        times = [row.split(",")[0] for row in rows]
+        assert times[0] != times[1]
+        back = read_csv(path)
+        assert float(back["x"].times[0]) == 1.7e9 + 0.25
+        assert float(back["y"].times[0]) == 1.7e9 + 0.5
+
+    def test_values_round_trip_exactly(self, tmp_path):
+        values = [1 / 3, 2**53 - 1.0, 6.02e23]
+        bundle = TraceBundle()
+        bundle.add(TimeSeries.from_values(values, name="v"))
+        path = tmp_path / "vals.csv"
+        write_csv(bundle, path)
+        np.testing.assert_array_equal(
+            read_csv(path)["v"].values, np.asarray(values))
+
+    def test_duplicate_time_rows_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("time,a\n0.0,1\n1.0,2\n1.0,3\n")
+        with pytest.raises(TraceError, match="duplicate time rows"):
+            read_csv(path)
+
+    def test_decreasing_time_rows_rejected(self, tmp_path):
+        path = tmp_path / "dec.csv"
+        path.write_text("time,a\n0.0,1\n2.0,2\n1.0,3\n")
+        with pytest.raises(TraceError, match="not increasing"):
+            read_csv(path)
+
+
+class TestRoundTripProperties:
+    """Property-style round trip: whatever grid and values a series
+    carries, write → read must reproduce them bit-exactly."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=-1e12, max_value=1e12,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=40, unique=True),
+        data=st.data(),
+    )
+    def test_arbitrary_series_round_trips_bit_exact(
+            self, tmp_path_factory, times, data):
+        grid = sorted(times)
+        values = data.draw(st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=64),
+            min_size=len(grid), max_size=len(grid)))
+        bundle = TraceBundle(metadata={"seed": 7.0})
+        bundle.add(TimeSeries(times=grid, values=values, name="prop"))
+        path = tmp_path_factory.mktemp("roundtrip") / "t.csv"
+        write_csv(bundle, path)
+        back = read_csv(path)
+        np.testing.assert_array_equal(back["prop"].times, np.asarray(grid))
+        np.testing.assert_array_equal(back["prop"].values, np.asarray(values))
+        assert back.metadata["seed"] == 7.0
 
 
 class TestSimulatorBundleRoundTrip:

@@ -153,3 +153,43 @@ class TestTraceBundle:
     def test_metadata_carried(self):
         b = TraceBundle.from_mapping({}, metadata={"crash_time": 5.0})
         assert b.metadata["crash_time"] == 5.0
+
+
+class TestTraceBundleCoercion:
+    """Regression: ``TraceBundle(series=[...])`` silently stored the
+    list, so ``bundle[name]`` later died with ``TypeError: list indices
+    must be integers`` far from the construction site."""
+
+    def test_list_of_series_coerced_to_mapping(self):
+        a, b = make([1, 2], name="a"), make([3, 4], name="b")
+        bundle = TraceBundle(series=[a, b])
+        assert bundle.names == ["a", "b"]
+        assert bundle["a"] is a
+        assert "b" in bundle
+
+    def test_tuple_and_generator_accepted(self):
+        assert TraceBundle(series=(make([1], name="t"),))["t"].name == "t"
+        gen = (make([1], name=n) for n in ("g1", "g2"))
+        assert TraceBundle(series=gen).names == ["g1", "g2"]
+
+    def test_duplicate_names_in_iterable_rejected(self):
+        with pytest.raises(TraceError, match="already contains"):
+            TraceBundle(series=[make([1], name="d"), make([2], name="d")])
+
+    def test_non_series_items_rejected(self):
+        with pytest.raises(ValidationError, match="TimeSeries"):
+            TraceBundle(series=[make([1], name="ok"), "not-a-series"])
+
+    def test_non_iterable_rejected(self):
+        with pytest.raises(ValidationError, match="mapping or an iterable"):
+            TraceBundle(series=42)
+
+    def test_mapping_values_validated_and_rekeyed(self):
+        bundle = TraceBundle(series={"renamed": make([1, 2], name="orig")})
+        assert bundle["renamed"].name == "renamed"
+        with pytest.raises(ValidationError, match="TimeSeries"):
+            TraceBundle(series={"bad": [1, 2, 3]})
+
+    def test_metadata_must_be_mapping(self):
+        with pytest.raises(ValidationError, match="metadata"):
+            TraceBundle(metadata=[("crash_time", 5.0)])
