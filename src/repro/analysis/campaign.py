@@ -23,6 +23,7 @@ from ..core.detectors import DetectorConfig
 from ..exceptions import AnalysisError, ExecutionError, ValidationError
 from ..memsim.scenarios import SCENARIO_NAMES, build_scenario
 from ..obs import get_logger
+from ..obs import ops as _ops
 from ..obs import session as _obs
 from ..perf.pool import resilient_map, resolve_workers
 from ..stats.roc import DetectionOutcome, score_detections
@@ -275,6 +276,9 @@ class CampaignOutcome:
     missing: List[MissingUnit] = field(default_factory=list)
     executed_units: int = 0
     resumed_units: int = 0
+    # Newest journal heartbeat recovered on resume (wall-clock epoch
+    # seconds), None for fresh runs or pre-heartbeat journals.
+    resumed_last_progress_at: Optional[float] = None
 
     @property
     def complete(self) -> bool:
@@ -325,6 +329,7 @@ def execute_campaign(
     resume: bool = False,
     chaos: Optional[ChaosSpec] = None,
     allow_partial: bool = False,
+    status=None,
 ) -> CampaignOutcome:
     """Run a campaign with crash tolerance; returns a
     :class:`CampaignOutcome`.
@@ -354,6 +359,15 @@ def execute_campaign(
     :class:`~repro.exceptions.ExecutionError` unless ``allow_partial``
     is set, in which case the outcome comes back ``"incomplete"`` with
     the missing units listed and every completed run aggregated.
+
+    ``status`` (duck-typed, e.g. a
+    :class:`~repro.obs.statusd.StatusBoard`) receives live progress —
+    ``begin``/``unit_finished``/``unit_failed``/``finish`` — for the
+    ``/status`` endpoint.  It observes execution and never feeds back
+    into it, so a run with a board attached stays bit-identical to one
+    without.  The whole execution runs under a cross-process trace
+    (:func:`repro.obs.ops.trace_scope`); worker telemetry merges back
+    tagged with the campaign's trace id.
     """
     _validate_specs(specs)
     workers = resolve_workers(workers)
@@ -362,22 +376,38 @@ def execute_campaign(
     fingerprint = campaign_fingerprint(specs)
 
     completed: Dict[str, RunRecord] = {}
+    last_progress_at: Optional[float] = None
     if resume:
         if journal is None:
             raise ValidationError("resume=True requires a journal path")
         if os.path.exists(journal) and os.path.getsize(journal) > 0:
-            payloads = CampaignJournal.load(journal, fingerprint=fingerprint)
+            state = CampaignJournal.read_state(
+                journal, fingerprint=fingerprint)
             wanted = set(keys)
             completed = {key: RunRecord(**payload)
-                         for key, payload in payloads.items()
+                         for key, payload in state.units.items()
                          if key in wanted}
+            last_progress_at = state.last_progress_at
             _obs.counter("campaign.units_resumed").inc(len(completed))
 
     pending = [(unit, key) for unit, key in zip(units, keys)
                if key not in completed]
     _log.info("campaign starting", cells=len(specs), units=len(units),
               resumed=len(completed), pending=len(pending), workers=workers,
-              fingerprint=fingerprint)
+              fingerprint=fingerprint,
+              last_progress_at=(last_progress_at
+                                if last_progress_at is not None else "none"))
+
+    if status is not None:
+        status.begin(
+            total_units=len(units),
+            cells={spec.name: spec.n_runs for spec in specs},
+            resumed=len(completed),
+            fingerprint=fingerprint,
+            workers=workers,
+            journal=None if journal is None else os.fspath(journal),
+            resumed_last_progress_at=last_progress_at,
+        )
 
     outcomes = []
     if pending:
@@ -391,12 +421,17 @@ def execute_campaign(
             completed[key] = record
             if journal_handle is not None:
                 journal_handle.record_unit(key, asdict(record))
+            if status is not None:
+                status.unit_finished(cell=pending_units[index][0].name)
 
         pre_unit = (partial(chaos_pre_unit, chaos)
                     if chaos is not None else None)
+        trace = _ops.current_trace() or _ops.new_trace("campaign")
         try:
-            with _obs.span("campaign-pool", cells=len(specs),
-                           units=len(pending_units), workers=workers):
+            with _ops.trace_scope(trace), \
+                    _obs.span("campaign-pool", cells=len(specs),
+                              units=len(pending_units), workers=workers,
+                              trace_id=trace.trace_id):
                 outcomes = resilient_map(
                     _campaign_unit, pending_units, workers=workers,
                     label="campaign-worker", timeout=timeout,
@@ -414,6 +449,9 @@ def execute_campaign(
                         error=o.error or "unknown failure")
             for o in outcomes if not o.ok
         ]
+        if status is not None:
+            for unit in missing:
+                status.unit_failed(cell=unit.cell, error=unit.error)
     else:
         missing = []
 
@@ -429,7 +467,10 @@ def execute_campaign(
         missing=missing,
         executed_units=sum(1 for o in outcomes if o.ok),
         resumed_units=len(units) - len(pending),
+        resumed_last_progress_at=last_progress_at,
     )
+    if status is not None:
+        status.finish(outcome.status, missing_units=len(missing))
     if missing:
         _obs.counter("campaign.units_missing").inc(len(missing))
         _log.warning("campaign incomplete", missing=len(missing),

@@ -28,6 +28,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
 
 from ..exceptions import TraceError, ValidationError
@@ -39,11 +41,25 @@ __all__ = [
     "JOURNAL_SCHEMA",
     "config_fingerprint",
     "CampaignJournal",
+    "JournalState",
 ]
 
 JOURNAL_SCHEMA = "repro.campaign-journal/1"
 
 _log = get_logger("analysis.checkpoint")
+
+
+@dataclass
+class JournalState:
+    """Everything :meth:`CampaignJournal.read_state` recovers from disk.
+
+    ``last_progress_at`` is the newest unit heartbeat (wall-clock
+    seconds since the epoch), or None for journals written before
+    heartbeats existed — resume stays backward compatible.
+    """
+
+    units: Dict[str, dict] = field(default_factory=dict)
+    last_progress_at: Optional[float] = None
 
 
 def config_fingerprint(config: object) -> str:
@@ -91,10 +107,16 @@ class CampaignJournal:
         fsync_handle(self._handle)
 
     def record_unit(self, key: str, payload: dict) -> None:
-        """Durably journal one completed unit (flushed + fsynced)."""
+        """Durably journal one completed unit (flushed + fsynced).
+
+        Each unit line carries a ``wall_time`` heartbeat so a resumed
+        (or scraped) campaign can report when the journal last made
+        progress.  Readers that predate the field ignore it.
+        """
         if not key:
             raise ValidationError("journal unit key must be non-empty")
-        self._append({"kind": "unit", "key": key, "payload": payload})
+        self._append({"kind": "unit", "key": key, "payload": payload,
+                      "wall_time": time.time()})
         _obs.counter("campaign.journal_units").inc()
 
     def close(self) -> None:
@@ -134,9 +156,21 @@ class CampaignJournal:
         keys keep the first record (units are deterministic, so later
         duplicates are identical re-executions).
         """
+        return cls.read_state(path, fingerprint=fingerprint).units
+
+    @classmethod
+    def read_state(
+        cls,
+        path: str | os.PathLike,
+        *,
+        fingerprint: Optional[str] = None,
+    ) -> JournalState:
+        """Like :meth:`load`, but return the full :class:`JournalState`
+        (units plus the last-progress heartbeat)."""
         path = os.fspath(path)
         header: Optional[dict] = None
         units: Dict[str, dict] = {}
+        last_progress_at: Optional[float] = None
         for lineno, line, is_last in cls._lines(path):
             if not line.strip():
                 continue
@@ -181,6 +215,11 @@ class CampaignJournal:
                     raise TraceError(
                         f"malformed unit record at line {lineno} in {path}")
                 units.setdefault(key, payload)
+                heartbeat = record.get("wall_time")
+                if isinstance(heartbeat, (int, float)):
+                    if (last_progress_at is None
+                            or heartbeat > last_progress_at):
+                        last_progress_at = float(heartbeat)
             else:
                 # Unknown-but-well-formed kinds are skipped so newer
                 # journal writers stay readable by older tools.
@@ -188,4 +227,4 @@ class CampaignJournal:
                              path=path, line=lineno, kind=kind)
         if header is None:
             raise TraceError(f"{path} contains no journal header")
-        return units
+        return JournalState(units=units, last_progress_at=last_progress_at)

@@ -181,6 +181,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "raise=RATE, hang-seconds=SEC, seed=N, "
                            "max-failures=N (e.g. "
                            "--chaos kill=0.3,raise=0.2,seed=1)")
+    camp.add_argument("--status-port", type=int, default=None, metavar="PORT",
+                      help="serve live /status (JSON progress + ETA + "
+                           "worker resources), /metrics (OpenMetrics) and "
+                           "/healthz on 127.0.0.1:PORT while the campaign "
+                           "runs (0 = pick an ephemeral port)")
+    camp.add_argument("--self-watch", action="store_true",
+                      help="stream the campaign parent's own RSS through "
+                           "an online aging monitor and alert if the "
+                           "harness itself leaks")
+    camp.add_argument("--flight-record", default=None, metavar="JSON",
+                      help="arm the flight recorder: keep a bounded ring "
+                           "buffer of recent log/span/unit records and "
+                           "dump it to this path (atomic JSON, schema "
+                           "repro.flight-record/1) on timeout-kill, "
+                           "worker death or unhandled error")
 
     tel = sub.add_parser("telemetry", parents=[common],
                          help="summarise or export run manifests")
@@ -189,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
     tel.add_argument("--metrics", action="store_true",
                      help="also print each run's full metrics snapshot "
                           "(table format only)")
+    tel.add_argument("--spans", action="store_true",
+                     help="also print each run's span tree (indented by "
+                          "nesting, with worker pid/ordinal tags for "
+                          "spans merged from pool workers; table format "
+                          "only)")
     tel.add_argument("--format", choices=("table", "json", "csv", "prom"),
                      default="table",
                      help="output format: report tables (default), flat "
@@ -276,6 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "window (default: %(default)s)")
     wat.add_argument("--quiet", action="store_true",
                      help="suppress live status lines on stdout")
+    wat.add_argument("--status-port", type=int, default=None, metavar="PORT",
+                     help="serve live /status, /metrics and /healthz on "
+                          "127.0.0.1:PORT while the watch runs "
+                          "(0 = pick an ephemeral port)")
 
     dash = sub.add_parser("dashboard", parents=[common],
                           help="render a self-contained HTML dashboard")
@@ -481,58 +505,116 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"unit(s) ({args.chaos})")
 
     workers = resolve_workers(args.workers)
+
+    # Control plane (all observation, never touches campaign payloads):
+    # flight recorder, resource sampler / self-watch, HTTP status surface.
+    recorder = sampler = board = server = None
+    if args.flight_record:
+        from .obs.ops import FlightRecorder, install_flight_recorder
+
+        recorder = install_flight_recorder(
+            FlightRecorder(path=args.flight_record))
+        print(f"flight recorder armed -> {args.flight_record}")
+    if args.status_port is not None or args.self_watch:
+        from .obs.resources import ResourceSampler
+        from .perf.pool import pool_worker_pids
+
+        sampler = ResourceSampler(worker_pids=pool_worker_pids,
+                                  self_watch=args.self_watch)
+        sampler.start()
+    if args.status_port is not None:
+        from .obs.statusd import StatusBoard, StatusServer
+
+        board = StatusBoard(kind="campaign")
+        server = StatusServer(port=args.status_port, board=board,
+                              resources=sampler)
+        port = server.start()
+        print(f"status: serving http://127.0.0.1:{port}/status "
+              f"(/metrics, /healthz)", flush=True)
+
     suffix = f" across {workers} workers" if workers > 1 else ""
     print(f"running {2 * args.runs} simulations "
           f"({args.scenario}/{args.profile}){suffix}...")
     try:
-        outcome = execute_campaign(
-            specs, workers=workers, timeout=args.timeout,
-            retries=args.retries, journal=args.journal, resume=args.resume,
-            chaos=chaos, allow_partial=args.allow_partial,
+        try:
+            outcome = execute_campaign(
+                specs, workers=workers, timeout=args.timeout,
+                retries=args.retries, journal=args.journal,
+                resume=args.resume, chaos=chaos,
+                allow_partial=args.allow_partial, status=board,
+            )
+        except ExecutionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            args._outcome.update(campaign_status="failed")
+            return 1
+        results = outcome.results
+        if outcome.resumed_units:
+            when = outcome.resumed_last_progress_at
+            stamp = ("" if when is None
+                     else " (last progress at "
+                     + _format_wall_time(when) + ")")
+            print(f"resumed {outcome.resumed_units} unit(s) from "
+                  f"{args.journal}{stamp}; "
+                  f"executed {outcome.executed_units} fresh")
+        print(render_table(
+            ["cell", "runs", "crashed", "detected", "missed",
+             "median_lead_s", "false_alarms"],
+            results_table(results), title="Campaign results",
+        ))
+        if args.out:
+            save_results(results, args.out)
+            print(f"results -> {args.out}")
+        # Per-run records ride along in the manifest so detection-quality
+        # dashboards can be rebuilt from telemetry archives alone.  So does
+        # the campaign's resilience outcome (status + any missing units).
+        args._outcome.update(
+            cells=cells_payload(results),
+            campaign_status=outcome.status,
+            missing_units=[
+                {"cell": u.cell, "run_index": u.run_index, "error": u.error}
+                for u in outcome.missing
+            ],
         )
-    except ExecutionError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        args._outcome.update(campaign_status="failed")
-        return 1
-    results = outcome.results
-    if outcome.resumed_units:
-        print(f"resumed {outcome.resumed_units} unit(s) from "
-              f"{args.journal}; executed {outcome.executed_units} fresh")
-    print(render_table(
-        ["cell", "runs", "crashed", "detected", "missed",
-         "median_lead_s", "false_alarms"],
-        results_table(results), title="Campaign results",
-    ))
-    if args.out:
-        save_results(results, args.out)
-        print(f"results -> {args.out}")
-    # Per-run records ride along in the manifest so detection-quality
-    # dashboards can be rebuilt from telemetry archives alone.  So does
-    # the campaign's resilience outcome (status + any missing units).
-    args._outcome.update(
-        cells=cells_payload(results),
-        campaign_status=outcome.status,
-        missing_units=[
-            {"cell": u.cell, "run_index": u.run_index, "error": u.error}
-            for u in outcome.missing
-        ],
-    )
-    if args.dashboard:
-        from .obs.dashboard import render_campaign_dashboard, write_dashboard
+        if sampler is not None and args.self_watch:
+            watch = (sampler.latest() or {}).get("self_watch") or {}
+            state = watch.get("state", "unknown")
+            print(f"self-watch: parent state {state} "
+                  f"({watch.get('n_samples', 0)} RSS samples, "
+                  f"{watch.get('alerts_fired', 0)} alert(s))")
+            args._outcome.update(self_watch=watch)
+        if args.dashboard:
+            from .obs.dashboard import render_campaign_dashboard, write_dashboard
 
-        path = write_dashboard(
-            render_campaign_dashboard(cells=args._outcome["cells"]),
-            args.dashboard,
-        )
-        print(f"dashboard -> {path}")
-    if not outcome.complete:
-        print(f"campaign INCOMPLETE: {len(outcome.missing)} unit(s) "
-              f"missing in cell(s) {', '.join(outcome.missing_cells)}"
-              + (f"; resume with --journal {args.journal} --resume"
-                 if args.journal else ""),
-              file=sys.stderr)
-        return 1
-    return 0
+            path = write_dashboard(
+                render_campaign_dashboard(cells=args._outcome["cells"]),
+                args.dashboard,
+            )
+            print(f"dashboard -> {path}")
+        if not outcome.complete:
+            print(f"campaign INCOMPLETE: {len(outcome.missing)} unit(s) "
+                  f"missing in cell(s) {', '.join(outcome.missing_cells)}"
+                  + (f"; resume with --journal {args.journal} --resume"
+                     if args.journal else ""),
+                  file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if server is not None:
+            server.stop()
+        if sampler is not None:
+            sampler.stop()
+        if recorder is not None:
+            from .obs.ops import uninstall_flight_recorder
+
+            uninstall_flight_recorder()
+
+
+def _format_wall_time(epoch_seconds: float) -> str:
+    """Epoch seconds -> local ``YYYY-mm-dd HH:MM:SS`` for log lines."""
+    import time as _time
+
+    return _time.strftime("%Y-%m-%d %H:%M:%S",
+                          _time.localtime(epoch_seconds))
 
 
 def cmd_telemetry(args: argparse.Namespace) -> int:
@@ -591,6 +673,15 @@ def cmd_telemetry(args: argparse.Namespace) -> int:
                 ["stage", "seconds"],
                 [[path, seconds] for path, seconds in stages.items()],
                 title=f"run {i} ({m.command}): stage durations",
+            ))
+        if getattr(args, "spans", False) and m.spans:
+            from .obs.export import span_tree_rows
+
+            print()
+            print(render_table(
+                ["span", "seconds", "status", "worker"],
+                span_tree_rows(m.spans),
+                title=f"run {i} ({m.command}): span tree",
             ))
         if args.metrics and m.metrics:
             flat = {}
@@ -703,6 +794,17 @@ def cmd_watch(args: argparse.Namespace) -> int:
         engine = AlertEngine(rules)
         print(f"loaded {len(rules)} alert rule(s) from {args.alerts}")
 
+    board = server = None
+    if args.status_port is not None:
+        from .obs.statusd import StatusBoard, StatusServer
+
+        board = StatusBoard(kind="watch")
+        board.begin(total_units=0, counter=args.counter)
+        server = StatusServer(port=args.status_port, board=board)
+        port = server.start()
+        print(f"status: serving http://127.0.0.1:{port}/status "
+              f"(/metrics, /healthz)", flush=True)
+
     def status_line(event: dict) -> None:
         value = event.get("value")
         shown = "-" if value is None else f"{value:,.0f}"
@@ -711,8 +813,21 @@ def cmd_watch(args: argparse.Namespace) -> int:
               f"indicators={event['n_indicators']:<4d} "
               f"alerts={event['alerts_fired']:<3d} {args.counter}={shown}")
 
+    def on_status(event: dict) -> None:
+        if board is not None:
+            board.update(
+                watch_time=event["t"], watch_state=event["state"],
+                n_samples=event["n_samples"],
+                n_indicators=event["n_indicators"],
+                alerts_fired=event["alerts_fired"],
+            )
+        if not args.quiet:
+            status_line(event)
+
     keep_events = bool(args.dashboard)
     with contextlib.ExitStack() as stack:
+        if server is not None:
+            stack.callback(server.stop)
         # The event stream is written atomically: it lands at --events in
         # one rename when the watch session ends, so a crash mid-watch
         # never leaves a truncated JSONL behind.
@@ -722,7 +837,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
         watcher = LiveWatcher(
             monitor, writer=writer, engine=engine, counter=args.counter,
             status_every=args.status_every, sample_every=args.sample_every,
-            on_status=None if args.quiet else status_line,
+            on_status=(None if args.quiet and board is None else on_status),
         )
         if args.trace is not None:
             from .trace import read_csv
@@ -749,6 +864,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
             end = watcher.finalize()
 
     state = end["state"]
+    if board is not None:
+        board.finish(state, alarm_time=end["alarm_time"],
+                     crash_time=end["crash_time"])
     if end["crash_time"] is not None:
         crash = (f"crashed at t={end['crash_time']:,.0f}s "
                  f"({end.get('crash_reason') or 'unknown'})")
@@ -846,11 +964,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     telemetry_out = getattr(args, "telemetry_out", None)
     profiling = bool(getattr(args, "perf_profile", False)
                      or getattr(args, "perf_memory", False))
+    # A live /status surface needs a live session to scrape, so
+    # --status-port implies telemetry even without a manifest directory.
     session = (
         obs.enable_telemetry(
             profile=profiling,
             profile_memory=bool(getattr(args, "perf_memory", False)))
-        if (telemetry_out or profiling) else None
+        if (telemetry_out or profiling
+            or getattr(args, "status_port", None) is not None) else None
     )
     code: Optional[int] = None
     error: Optional[BaseException] = None

@@ -36,6 +36,17 @@ DESIGN.md).  Seven pieces, composable but independently usable:
 * :mod:`repro.obs.dashboard` — self-contained HTML dashboards (inline
   SVG, no external resources) for one watch stream or a whole campaign
   of run manifests.
+* :mod:`repro.obs.ops` — the campaign control plane's identity layer:
+  cross-process trace contexts carried into pool workers, and the
+  flight recorder (bounded ring buffer dumped as a
+  ``repro.flight-record/1`` artifact on pool failure).
+* :mod:`repro.obs.resources` — stdlib-only per-process resource
+  sampling (/proc with rusage fallback) for the parent and pool
+  workers, with a ``self_watch`` mode streaming the parent's RSS
+  through an online aging monitor.
+* :mod:`repro.obs.statusd` — the live localhost HTTP surface
+  (``/status``, ``/metrics``, ``/healthz``) behind
+  ``campaign --status-port`` / ``watch --status-port``.
 
 Library code is instrumented against the *current telemetry session*
 (:mod:`repro.obs.session`); the default session is disabled, so imports
@@ -104,6 +115,7 @@ from .export import (
     manifests_to_json,
     manifests_to_prometheus,
     session_to_prometheus,
+    span_tree_rows,
     watch_events_to_prometheus,
 )
 from .alerts import (
@@ -120,6 +132,30 @@ from .live import (
     read_events,
     validate_event,
     validate_stream,
+)
+from .ops import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    TraceContext,
+    current_flight_recorder,
+    current_trace,
+    flight_dump,
+    flight_note,
+    install_flight_recorder,
+    new_trace,
+    trace_scope,
+    uninstall_flight_recorder,
+)
+from .resources import (
+    ProcessSample,
+    ResourceSampler,
+    SelfWatch,
+    sample_process,
+)
+from .statusd import (
+    STATUS_SCHEMA,
+    StatusBoard,
+    StatusServer,
 )
 
 __all__ = [
@@ -179,6 +215,7 @@ __all__ = [
     "manifests_to_csv",
     "manifests_to_prometheus",
     "session_to_prometheus",
+    "span_tree_rows",
     "watch_events_to_prometheus",
     # alert rules
     "AlertRule",
@@ -193,4 +230,25 @@ __all__ = [
     "read_events",
     "validate_event",
     "validate_stream",
+    # control plane: traces + flight recorder
+    "FLIGHT_SCHEMA",
+    "TraceContext",
+    "new_trace",
+    "current_trace",
+    "trace_scope",
+    "FlightRecorder",
+    "install_flight_recorder",
+    "uninstall_flight_recorder",
+    "current_flight_recorder",
+    "flight_note",
+    "flight_dump",
+    # resource sampling + self-watch
+    "ProcessSample",
+    "sample_process",
+    "ResourceSampler",
+    "SelfWatch",
+    # status surface
+    "STATUS_SCHEMA",
+    "StatusBoard",
+    "StatusServer",
 ]

@@ -39,6 +39,7 @@ __all__ = [
     "manifests_to_prometheus",
     "session_to_prometheus",
     "watch_events_to_prometheus",
+    "span_tree_rows",
     "PrometheusWriter",
 ]
 
@@ -108,6 +109,33 @@ def manifests_to_csv(manifests: Sequence[RunManifest]) -> str:
         for metric, value in rows:
             writer.writerow([index, manifest.command, seed, metric, value])
     return buffer.getvalue()
+
+
+def span_tree_rows(spans: Sequence[Mapping[str, object]]) -> List[List[str]]:
+    """Render span dicts as indented ``[stage, seconds, status, worker]`` rows.
+
+    Input is the JSON form produced by ``SpanCollector.to_list()`` (or a
+    manifest's ``spans``), entry order.  Depth becomes two-space
+    indentation, so merged cross-process trees — worker spans ingested
+    under the campaign span — read as one tree.  The worker column shows
+    ``pid@ordinal`` when the merge tagged the span, blank for local
+    spans.
+    """
+    rows: List[List[str]] = []
+    for span in spans:
+        depth = int(span.get("depth") or 0)
+        duration = span.get("duration")
+        attrs = span.get("attrs") or {}
+        worker_pid = attrs.get("worker_pid")
+        worker = ("" if worker_pid is None
+                  else f"{worker_pid}@{attrs.get('worker_ordinal', '?')}")
+        rows.append([
+            "  " * depth + str(span.get("name", "?")),
+            "" if duration is None else f"{float(duration):.4f}",
+            str(span.get("status", "open")),
+            worker,
+        ])
+    return rows
 
 
 # -- Prometheus / OpenMetrics --------------------------------------------------

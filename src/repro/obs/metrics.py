@@ -325,11 +325,20 @@ class MetricsRegistry:
         return name in self._instruments
 
     def snapshot(self) -> Dict[str, dict]:
-        """JSON-able state of every instrument, sorted by name."""
-        return {
-            name: self._instruments[name].snapshot()
-            for name in sorted(self._instruments)
-        }
+        """JSON-able state of every instrument, sorted by name.
+
+        Safe against a concurrent reader (a /metrics scrape) racing the
+        producer's registrations: the name list is materialised first
+        and instruments looked up defensively, so a registry growing
+        mid-snapshot yields a slightly stale view instead of a
+        ``RuntimeError``.
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(list(self._instruments)):
+            inst = self._instruments.get(name)
+            if inst is not None:
+                out[name] = inst.snapshot()
+        return out
 
     def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.

@@ -1,0 +1,335 @@
+"""Campaign control plane: cross-process trace identity + flight recorder.
+
+Two concerns every long-running, multi-process campaign needs and no
+single-process telemetry session provides:
+
+**Trace propagation.**  A campaign run mints one *trace id*; every
+(cell, run) work unit derives a *span id* from it deterministically
+(:func:`derive_span_id` — sha256 of ``trace:parent:key``, so retries and
+resumes reproduce the same ids without coordination).  The pool carries
+the :class:`TraceContext` into worker processes inside the unit payload,
+and the telemetry merged back from workers is tagged with it — so the
+parent's span tree reads as one coherent cross-process trace, and a
+``/status`` scrape, a journal, and a worker's log line can all be joined
+on the same id.
+
+**Flight recorder.**  A bounded ring buffer of the most recent log
+records, span closures and unit outcomes (:class:`FlightRecorder`).  It
+costs O(capacity) memory forever, and when the pool kills a hung worker,
+loses one to the OOM killer, or hits an unhandled error, the buffer is
+dumped atomically as a ``repro.flight-record/1`` JSON artifact — the
+post-mortem no longer depends on whatever stderr survived the SIGKILL.
+
+Both are module-global by design (like the telemetry session): the pool
+and the campaign runner pick up the current trace / recorder without
+threading them through every call signature.  Defaults are inert — no
+trace installed, no recorder installed — and every helper degrades to a
+no-op, so instrumented code pays nothing until a driver opts in.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import logging
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..exceptions import ValidationError
+from .atomic import atomic_write_json
+from .logger import get_logger
+from . import session as _session
+
+__all__ = [
+    "FLIGHT_SCHEMA",
+    "TraceContext",
+    "mint_trace_id",
+    "derive_span_id",
+    "new_trace",
+    "current_trace",
+    "trace_scope",
+    "FlightRecorder",
+    "install_flight_recorder",
+    "uninstall_flight_recorder",
+    "current_flight_recorder",
+    "flight_note",
+    "flight_dump",
+]
+
+FLIGHT_SCHEMA = "repro.flight-record/1"
+
+_log = get_logger("obs.ops")
+
+
+# -- trace identity ------------------------------------------------------------
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace id.
+
+    Random (``os.urandom``), not seeded: trace ids name telemetry, never
+    feed computation, so they are exempt from the library's determinism
+    discipline — two runs of the same campaign are *different traces*.
+    """
+    return os.urandom(8).hex()
+
+
+def derive_span_id(trace_id: str, parent_span_id: str, key: str) -> str:
+    """Deterministic 16-hex-char span id for ``key`` under a parent.
+
+    Pure function of ``(trace_id, parent_span_id, key)``: a retried or
+    resumed work unit keeps its span id, so artifacts recorded across
+    attempts join on the same identity.
+    """
+    digest = hashlib.sha256(
+        f"{trace_id}:{parent_span_id}:{key}".encode()).hexdigest()
+    return digest[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One node of a cross-process trace: ids only, no timing.
+
+    Timing lives in span records; the context is the portable identity
+    that survives pickling into a worker process.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+
+    def child(self, key: str) -> "TraceContext":
+        """The deterministic child context for ``key`` (e.g. a unit index)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=derive_span_id(self.trace_id, self.span_id, key),
+            parent_span_id=self.span_id,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON/pickle-friendly form carried in unit payloads."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            span_id=str(payload["span_id"]),
+            parent_span_id=payload.get("parent_span_id"),
+        )
+
+
+def new_trace(root: str = "root") -> TraceContext:
+    """Mint a root context: fresh trace id, span id derived for ``root``."""
+    trace_id = mint_trace_id()
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=derive_span_id(trace_id, "", root),
+        parent_span_id=None,
+    )
+
+
+_current_trace: Optional[TraceContext] = None
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The installed trace context, or None when nothing minted one."""
+    return _current_trace
+
+
+@contextlib.contextmanager
+def trace_scope(context: TraceContext):
+    """Install ``context`` as the current trace for a ``with`` block.
+
+    Also stamps the trace id onto the live telemetry session (if any),
+    so exports and status scrapes can surface it.
+    """
+    global _current_trace
+    if not isinstance(context, TraceContext):
+        raise ValidationError(
+            f"trace_scope needs a TraceContext, got {type(context).__name__}")
+    previous = _current_trace
+    _current_trace = context
+    session = _session.current_session()
+    if session.enabled and getattr(session, "trace_id", None) is None:
+        session.trace_id = context.trace_id
+    try:
+        yield context
+    finally:
+        _current_trace = previous
+
+
+# -- flight recorder -----------------------------------------------------------
+
+class FlightRecorder(logging.Handler):
+    """Bounded ring buffer of recent telemetry, dumpable on failure.
+
+    Collects three streams into one time-ordered deque of dicts:
+
+    * ``log`` — every record emitted under the ``"repro"`` logging root
+      (the recorder *is* a :class:`logging.Handler`);
+    * ``span`` — span closures, via the collector's ``on_close`` hook;
+    * anything the pool or campaign notes explicitly (:meth:`note`) —
+      unit outcomes, retries, kill decisions.
+
+    The buffer holds the newest ``capacity`` records; :meth:`dump`
+    writes them (plus an envelope: schema, reason, pid, trace id) as an
+    atomic JSON artifact.  Repeated dumps overwrite the same path — the
+    newest post-mortem wins, and the envelope counts how many came
+    before it.
+    """
+
+    def __init__(self, *, capacity: int = 512,
+                 path: Optional[str | os.PathLike] = None) -> None:
+        if capacity < 1:
+            raise ValidationError(
+                f"flight recorder capacity must be >= 1, got {capacity}")
+        logging.Handler.__init__(self, level=logging.DEBUG)
+        self.capacity = capacity
+        self.path = None if path is None else os.fspath(path)
+        self._buffer: deque = deque(maxlen=capacity)
+        self._state_lock = threading.Lock()
+        self.n_recorded = 0
+        self.n_dumps = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def note(self, kind: str, /, **fields) -> None:
+        """Append one record (timestamped) to the ring buffer.
+
+        ``kind`` is positional-only so records may carry their own
+        ``kind`` field (e.g. an error kind) without colliding.
+        """
+        record = {"wall_time": time.time(), "kind": kind}
+        record.update(fields)
+        with self._state_lock:
+            self._buffer.append(record)
+            self.n_recorded += 1
+
+    def emit(self, record: logging.LogRecord) -> None:
+        """:class:`logging.Handler` entry point: buffer a log record."""
+        entry = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            entry.update(fields)
+        self.note("log", **entry)
+
+    def on_span_close(self, span) -> None:
+        """Span-collector ``on_close`` hook: buffer a span closure."""
+        self.note(
+            "span",
+            path=span.path,
+            duration=span.duration,
+            status=span.status,
+            attrs=dict(span.attrs),
+        )
+
+    # -- reading / dumping -----------------------------------------------------
+
+    def records(self) -> List[dict]:
+        """Current buffer contents, oldest first."""
+        with self._state_lock:
+            return list(self._buffer)
+
+    def dump(self, reason: str, *,
+             path: Optional[str | os.PathLike] = None,
+             extra: Optional[Dict[str, object]] = None) -> Optional[str]:
+        """Write the buffer as a ``repro.flight-record/1`` artifact.
+
+        Uses ``path`` (or the recorder's configured path); returns the
+        written path, or None when neither names a destination.  Never
+        raises for I/O problems — the recorder runs inside failure
+        handling, where a second failure must not mask the first.
+        """
+        destination = self.path if path is None else os.fspath(path)
+        if destination is None:
+            return None
+        trace = current_trace()
+        payload = {
+            "schema": FLIGHT_SCHEMA,
+            "dumped_at": time.time(),
+            "reason": reason,
+            "pid": os.getpid(),
+            "trace_id": None if trace is None else trace.trace_id,
+            "capacity": self.capacity,
+            "n_recorded": self.n_recorded,
+            "n_prior_dumps": self.n_dumps,
+            "records": self.records(),
+        }
+        if extra:
+            payload.update(extra)
+        try:
+            atomic_write_json(destination, payload)
+        except OSError as exc:  # pragma: no cover - disk-full style failures
+            _log.warning("flight-record dump failed", path=destination,
+                         error=f"{type(exc).__name__}: {exc}")
+            return None
+        with self._state_lock:
+            self.n_dumps += 1
+        _session.counter("obs.flight_dumps").inc()
+        _log.info("flight record dumped", path=destination, reason=reason,
+                  records=len(payload["records"]))
+        return destination
+
+
+_recorder: Optional[FlightRecorder] = None
+
+
+def install_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Make ``recorder`` current: attach it to the ``"repro"`` logging
+    root and to the live span collector's close hook.
+
+    Replaces (and detaches) any previously installed recorder.
+    """
+    global _recorder
+    if _recorder is not None:
+        uninstall_flight_recorder()
+    logging.getLogger("repro").addHandler(recorder)
+    session = _session.current_session()
+    if session.enabled:
+        session.spans.on_close = recorder.on_span_close
+    _recorder = recorder
+    return recorder
+
+
+def uninstall_flight_recorder() -> None:
+    """Detach and forget the current recorder (no-op when none)."""
+    global _recorder
+    if _recorder is None:
+        return
+    logging.getLogger("repro").removeHandler(_recorder)
+    session = _session.current_session()
+    hook = getattr(session.spans, "on_close", None)
+    # Bound methods are recreated per access, so compare the receiver.
+    if getattr(hook, "__self__", None) is _recorder:
+        session.spans.on_close = None
+    _recorder = None
+
+
+def current_flight_recorder() -> Optional[FlightRecorder]:
+    """The installed recorder, or None."""
+    return _recorder
+
+
+def flight_note(kind: str, /, **fields) -> None:
+    """Buffer one record on the current recorder (no-op when none)."""
+    if _recorder is not None:
+        _recorder.note(kind, **fields)
+
+
+def flight_dump(reason: str, **extra) -> Optional[str]:
+    """Dump the current recorder (no-op when none); returns the path."""
+    if _recorder is None:
+        return None
+    return _recorder.dump(reason, extra=extra or None)

@@ -67,6 +67,8 @@ class TelemetrySession:
         )
         self.events: List[dict] = []
         self.started_at = time.time()
+        # Stamped by repro.obs.ops.trace_scope when a campaign mints a trace.
+        self.trace_id: Optional[str] = None
 
     def record_event(self, kind: str, **fields) -> None:
         """Append one discrete event (kind + fields + wall timestamp)."""
@@ -84,6 +86,7 @@ class TelemetrySession:
         """Compact JSON-able digest (used by heartbeat logs and tests)."""
         return {
             "enabled": self.enabled,
+            "trace_id": self.trace_id,
             "n_metrics": len(self.metrics),
             "n_spans": len(self.spans.records),
             "n_events": len(self.events),

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..exceptions import ValidationError
 
@@ -116,6 +116,8 @@ class SpanCollector:
         self.epoch = time.perf_counter()
         self._stack: List[SpanRecord] = []
         self._records: List[SpanRecord] = []
+        # Called with each SpanRecord as it closes (flight recorder hook).
+        self.on_close: Optional[Callable[[SpanRecord], None]] = None
 
     def span(self, name: str, **attrs):
         """Open a nested span named ``name`` (use as a context manager)."""
@@ -153,6 +155,8 @@ class SpanCollector:
         self._stack.pop()
         record.end = time.perf_counter() - self.epoch
         record.status = "ok" if ok else "error"
+        if self.on_close is not None:
+            self.on_close(record)
 
     # -- reading ---------------------------------------------------------------
 
@@ -165,6 +169,11 @@ class SpanCollector:
     def open_depth(self) -> int:
         """How many spans are currently open."""
         return len(self._stack)
+
+    @property
+    def current_path(self) -> str:
+        """Path of the innermost open span, or "" at top level."""
+        return self._stack[-1].path if self._stack else ""
 
     def completed(self) -> List[SpanRecord]:
         """Only the spans that have exited."""
@@ -181,7 +190,8 @@ class SpanCollector:
         """JSON-able records, entry order (manifest payload)."""
         return [r.to_dict() for r in self._records]
 
-    def ingest(self, records: List[dict], *, prefix: Optional[str] = None) -> int:
+    def ingest(self, records: List[dict], *, prefix: Optional[str] = None,
+               extra_attrs: Optional[Dict[str, object]] = None) -> int:
         """Adopt span dicts recorded by another collector (another process).
 
         Worker collectors start their own ``perf_counter`` epoch, so the
@@ -190,8 +200,12 @@ class SpanCollector:
         workers' internal ordering exact while their absolute placement
         is only as good as "they finished just before the merge".  With
         ``prefix`` every imported path is nested under ``prefix/`` so
-        worker trees stay distinguishable in the parent's stage tree.
-        Returns the number of records adopted.
+        worker trees stay distinguishable in the parent's stage tree; a
+        multi-segment prefix (``"campaign-pool/campaign-worker"``) nests
+        that many levels deeper.  ``extra_attrs`` (worker pid, trace
+        ids, …) are merged into every adopted record's attrs without
+        overriding keys the worker set itself.  Returns the number of
+        records adopted.
         """
         if not self.enabled or not records:
             return 0
@@ -205,8 +219,12 @@ class SpanCollector:
             depth = int(r["depth"])
             if prefix:
                 path = f"{prefix}/{path}"
-                depth += 1
+                depth += prefix.count("/") + 1
             end = r.get("end")
+            attrs = dict(r.get("attrs") or {})
+            if extra_attrs:
+                for key, value in extra_attrs.items():
+                    attrs.setdefault(key, value)
             self._records.append(SpanRecord(
                 name=r["name"],
                 path=path,
@@ -214,7 +232,7 @@ class SpanCollector:
                 start=r["start"] + shift,
                 end=None if end is None else end + shift,
                 status=r.get("status", "open"),
-                attrs=dict(r.get("attrs") or {}),
+                attrs=attrs,
             ))
         return len(records)
 

@@ -40,14 +40,16 @@ import os
 import pickle
 import random
 import time
+import weakref
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from ..exceptions import ExecutionError, ValidationError
+from ..obs import ops as _ops
 from ..obs import session as _obs
 from ..obs.logger import get_logger
 from ..obs.profile import profile
@@ -63,7 +65,32 @@ __all__ = [
     "resolve_workers",
     "parallel_map",
     "resilient_map",
+    "pool_worker_pids",
 ]
+
+# Live executors, so the resource sampler can find worker pids without
+# the pool threading itself through every call signature.  Weak: a pool
+# that is garbage-collected (or shut down and dropped) vanishes here too.
+_ACTIVE_POOLS: "weakref.WeakSet[ProcessPoolExecutor]" = weakref.WeakSet()
+
+
+def pool_worker_pids() -> List[int]:
+    """Pids of every live worker process across active pools, sorted.
+
+    Best-effort introspection for telemetry (the resource sampler);
+    pools appear when :func:`resilient_map` starts one and disappear on
+    shutdown/garbage collection.
+    """
+    pids = set()
+    for pool in list(_ACTIVE_POOLS):
+        processes = getattr(pool, "_processes", None) or {}
+        for pid, proc in list(processes.items()):
+            try:
+                if proc.is_alive():
+                    pids.add(pid)
+            except Exception:  # pragma: no cover - mid-shutdown races
+                pass
+    return sorted(pids)
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -123,32 +150,81 @@ def _run_unit(payload):
     home with the result instead of dying with the process.
     ``pre_unit`` (when given) runs first — it is the fault-injection
     hook :mod:`repro.testing.chaos` uses to kill/hang/fail units.
+
+    ``trace`` (a :meth:`TraceContext.to_dict` payload, or None) is the
+    unit's place in the campaign's cross-process trace; it rides home in
+    the telemetry's ``context`` alongside the worker's pid so the parent
+    can stitch and tag what it merges.
     """
-    fn, item, capture, pre_unit, index, attempt = payload
+    fn, item, capture, pre_unit, index, attempt, trace = payload
     if pre_unit is not None:
         pre_unit(index, attempt)
     if not capture:
         return fn(item), None
     with _obs.telemetry_session() as session:
+        if trace is not None:
+            session.trace_id = trace.get("trace_id")
         result = fn(item)
         telemetry = {
             "metrics": session.metrics.snapshot(),
             "spans": session.spans.to_list(),
             "events": list(session.events),
+            "context": {
+                **(trace or {}),
+                "pid": os.getpid(),
+                "index": index,
+                "attempt": attempt,
+            },
         }
     return result, telemetry
 
 
 def _merge_worker_telemetry(telemetries, *, prefix: str) -> None:
+    """Fold worker-side telemetry into the parent session.
+
+    Spans nest under the parent's *currently open* span path plus the
+    pool label (so a campaign's worker spans land under
+    ``campaign-pool/campaign-worker/...``, one coherent tree), and every
+    adopted span is tagged with the worker's pid, its first-seen ordinal
+    in this merge, and the unit's trace/span ids.  Aggregate metrics
+    merge exactly as before (counters add, gauges last-write/max);
+    additionally each worker's *counters* are mirrored under
+    ``{label}.w{ordinal}.{name}`` (with a ``{label}.w{ordinal}.pid``
+    gauge) so per-worker contributions stay distinguishable after the
+    merge.
+    """
     session = _obs.current_session()
     if not session.enabled:
         return
+    base = session.spans.current_path
+    span_prefix = f"{base}/{prefix}" if base else prefix
+    ordinals: Dict[int, int] = {}
     merged_events = False
     for telemetry in telemetries:
         if telemetry is None:
             continue
+        context = telemetry.get("context") or {}
+        pid = context.get("pid")
+        ordinal = None
+        if pid is not None:
+            ordinal = ordinals.setdefault(pid, len(ordinals))
         session.metrics.merge_snapshot(telemetry["metrics"])
-        session.spans.ingest(telemetry["spans"], prefix=prefix)
+        if ordinal is not None:
+            worker_ns = f"{prefix}.w{ordinal}"
+            session.metrics.gauge(f"{worker_ns}.pid").set(pid)
+            for name, state in telemetry["metrics"].items():
+                if state.get("type") == "counter":
+                    session.metrics.counter(f"{worker_ns}.{name}").inc(
+                        float(state.get("value") or 0.0))
+        extra_attrs: Dict[str, object] = {}
+        if pid is not None:
+            extra_attrs["worker_pid"] = pid
+            extra_attrs["worker_ordinal"] = ordinal
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if context.get(key) is not None:
+                extra_attrs[key] = context[key]
+        session.spans.ingest(telemetry["spans"], prefix=span_prefix,
+                             extra_attrs=extra_attrs or None)
         if telemetry["events"]:
             session.events.extend(telemetry["events"])
             merged_events = True
@@ -178,10 +254,16 @@ def _mark_retry(outcome: UnitOutcome, *, retries: int, backoff_base: float,
     """Log/count one failed attempt; return the backoff delay if the
     unit has retry budget left, else ``None`` (permanent failure)."""
     if outcome.attempts > retries:
+        _ops.flight_note("unit", index=outcome.index, status="failed",
+                         kind=outcome.error_kind, attempts=outcome.attempts,
+                         error=outcome.error)
         return None
     _obs.counter("perf.pool.retries").inc()
     delay = backoff_delay(outcome.attempts, base=backoff_base,
                           cap=backoff_cap, key=f"{label}:{outcome.index}")
+    _ops.flight_note("retry", index=outcome.index, attempt=outcome.attempts,
+                     kind=outcome.error_kind, delay_s=round(delay, 3),
+                     error=outcome.error)
     _log.warning("unit failed; retrying", unit=outcome.index,
                  attempt=outcome.attempts, kind=outcome.error_kind,
                  delay_s=round(delay, 3), error=outcome.error)
@@ -201,6 +283,7 @@ def _sequential_attempts(
     backoff_base: float,
     backoff_cap: float,
     label: str,
+    trace=None,
 ) -> None:
     """In-process execution with the same retry/backoff semantics.
 
@@ -214,11 +297,14 @@ def _sequential_attempts(
     try:
         for index, item in pending:
             outcome = outcomes[index]
+            unit_trace = (None if trace is None
+                          else trace.child(f"{label}:{index}").to_dict())
             while True:
                 outcome.attempts += 1
                 try:
                     result, telemetry = _run_unit(
-                        (fn, item, capture, pre_unit, index, outcome.attempts))
+                        (fn, item, capture, pre_unit, index, outcome.attempts,
+                         unit_trace))
                 except retry_exceptions as exc:
                     outcome.error = f"{type(exc).__name__}: {exc}"
                     outcome.error_kind = "exception"
@@ -233,6 +319,8 @@ def _sequential_attempts(
                 outcome.error = None
                 outcome.error_kind = None
                 telemetries.append(telemetry)
+                _ops.flight_note("unit", index=index, status="ok",
+                                 attempts=outcome.attempts)
                 if on_result is not None:
                     on_result(index, result)
                 break
@@ -291,7 +379,44 @@ def resilient_map(
       never returns) and surviving units resubmitted to a fresh pool.
       A pool break retries *every* unfinished unit's attempt counter —
       the pool cannot tell the killer from its victims.
+    * Each call runs under a cross-process trace
+      (:mod:`repro.obs.ops`): an enclosing :func:`~repro.obs.ops.trace_scope`
+      is reused, otherwise a fresh trace is minted for the map.  Per-unit
+      child contexts ride into workers and come back stitched onto the
+      merged telemetry.  When a flight recorder is installed, the buffer
+      is dumped on timeout-kill, worker death, unhandled error, or
+      permanent unit failure.
     """
+    trace = _ops.current_trace()
+    if trace is not None:
+        return _resilient_map(
+            fn, items, trace, workers=workers, label=label, timeout=timeout,
+            retries=retries, backoff_base=backoff_base,
+            backoff_cap=backoff_cap, retry_exceptions=retry_exceptions,
+            pre_unit=pre_unit, on_result=on_result)
+    with _ops.trace_scope(_ops.new_trace(label)) as trace:
+        return _resilient_map(
+            fn, items, trace, workers=workers, label=label, timeout=timeout,
+            retries=retries, backoff_base=backoff_base,
+            backoff_cap=backoff_cap, retry_exceptions=retry_exceptions,
+            pre_unit=pre_unit, on_result=on_result)
+
+
+def _resilient_map(
+    fn,
+    items,
+    trace,
+    *,
+    workers,
+    label,
+    timeout,
+    retries,
+    backoff_base,
+    backoff_cap,
+    retry_exceptions,
+    pre_unit,
+    on_result,
+) -> List[UnitOutcome]:
     items = list(items)
     workers = resolve_workers(workers)
     retry_exceptions = tuple(retry_exceptions)
@@ -319,11 +444,17 @@ def resilient_map(
 
     capture = _obs.telemetry_enabled()
     if usable <= 1:
-        _sequential_attempts(
-            fn, pending, outcomes, capture=capture, pre_unit=pre_unit,
-            on_result=on_result, retries=retries,
-            retry_exceptions=retry_exceptions, backoff_base=backoff_base,
-            backoff_cap=backoff_cap, label=label)
+        try:
+            _sequential_attempts(
+                fn, pending, outcomes, capture=capture, pre_unit=pre_unit,
+                on_result=on_result, retries=retries,
+                retry_exceptions=retry_exceptions, backoff_base=backoff_base,
+                backoff_cap=backoff_cap, label=label, trace=trace)
+        except Exception as exc:
+            _ops.flight_dump("unhandled-error", label=label,
+                             error=f"{type(exc).__name__}: {exc}")
+            raise
+        _dump_on_failures(outcomes, label=label)
         return outcomes
 
     telemetries = []
@@ -333,10 +464,15 @@ def resilient_map(
         futures: List[Tuple[int, object, object]] = []
         try:
             pool = ProcessPoolExecutor(max_workers=min(usable, len(pending)))
+            _ACTIVE_POOLS.add(pool)
             for index, item in pending:
                 attempt = outcomes[index].attempts + 1
+                unit_trace = (None if trace is None
+                              else trace.child(f"{label}:{index}").to_dict())
                 futures.append((index, item, pool.submit(
-                    _run_unit, (fn, item, capture, pre_unit, index, attempt))))
+                    _run_unit,
+                    (fn, item, capture, pre_unit, index, attempt,
+                     unit_trace))))
         except (BrokenProcessPool, OSError, pickle.PicklingError) as exc:
             # The pool could not even start: an environmental problem a
             # retry will not fix.  Run what is left in-process instead.
@@ -352,7 +488,8 @@ def resilient_map(
                 fn, pending, outcomes, capture=capture, pre_unit=pre_unit,
                 on_result=on_result, retries=retries,
                 retry_exceptions=retry_exceptions, backoff_base=backoff_base,
-                backoff_cap=backoff_cap, label=label)
+                backoff_cap=backoff_cap, label=label, trace=trace)
+            _dump_on_failures(outcomes, label=label)
             return outcomes
 
         tainted = False
@@ -393,11 +530,26 @@ def resilient_map(
             outcome.error = None
             outcome.error_kind = None
             telemetries.append(telemetry)
+            _ops.flight_note("unit", index=index, status="ok",
+                             attempts=outcome.attempts)
             if on_result is not None:
                 on_result(index, result)
 
         if tainted:
             _kill_pool(pool)
+            # Buffer the failure context before dumping, so the artifact
+            # is self-describing even when the round died before any
+            # other record reached the recorder.
+            for index, _item in sorted(failed_round):
+                _ops.flight_note("unit", index=index, status="error",
+                                 attempts=outcomes[index].attempts,
+                                 error_kind=outcomes[index].error_kind,
+                                 error=outcomes[index].error)
+            kinds = {outcomes[i].error_kind for i, _ in failed_round}
+            _ops.flight_dump(
+                "timeout-kill" if "timeout" in kinds else "worker-death",
+                label=label,
+                failed_units=sorted(i for i, _ in failed_round))
         else:
             pool.shutdown(wait=True)
 
@@ -417,8 +569,18 @@ def resilient_map(
     _obs.counter("perf.pool.units").inc(len(items))
     _merge_worker_telemetry(telemetries, prefix=label)
     if fatal is not None:
+        _ops.flight_dump("unhandled-error", label=label,
+                         error=f"{type(fatal).__name__}: {fatal}")
         raise fatal
+    _dump_on_failures(outcomes, label=label)
     return outcomes
+
+
+def _dump_on_failures(outcomes: List[UnitOutcome], *, label: str) -> None:
+    """Dump the flight recorder once when units failed permanently."""
+    failed = [o.index for o in outcomes if not o.ok]
+    if failed:
+        _ops.flight_dump("unit-failures", label=label, failed_units=failed)
 
 
 @profile("perf.parallel_map")

@@ -2,12 +2,14 @@
 tolerance, fingerprint matching."""
 
 import json
+import time
 
 import pytest
 
 from repro.analysis.checkpoint import (
     JOURNAL_SCHEMA,
     CampaignJournal,
+    JournalState,
     config_fingerprint,
 )
 from repro.exceptions import TraceError, ValidationError
@@ -149,3 +151,49 @@ class TestJournalDamage:
             handle.write('{"kind": "unit", "key": "ok", "payload": {}}\n')
         with pytest.raises(TraceError, match="malformed unit record"):
             CampaignJournal.load(path)
+
+
+class TestJournalHeartbeat:
+    def test_unit_lines_carry_wall_time(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        before = time.time()
+        with CampaignJournal(path, fingerprint="fp") as journal:
+            journal.record_unit("a#0", {"seed": 1})
+        after = time.time()
+        record = json.loads(path.read_text().splitlines()[1])
+        assert before <= record["wall_time"] <= after
+
+    def test_read_state_reports_last_progress(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        before = time.time()
+        with CampaignJournal(path, fingerprint="fp") as journal:
+            journal.record_unit("a#0", {"seed": 1})
+            journal.record_unit("a#1", {"seed": 2})
+        state = CampaignJournal.read_state(path, fingerprint="fp")
+        assert isinstance(state, JournalState)
+        assert sorted(state.units) == ["a#0", "a#1"]
+        assert before <= state.last_progress_at <= time.time()
+        # load() stays the plain-dict view of the same parse.
+        assert CampaignJournal.load(path, fingerprint="fp") == state.units
+
+    def test_newest_heartbeat_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"kind": "header", "schema": "%s", "fingerprint": "fp"}\n'
+            '{"kind": "unit", "key": "a#0", "payload": {}, "wall_time": 50.0}\n'
+            '{"kind": "unit", "key": "a#1", "payload": {}, "wall_time": 90.0}\n'
+            '{"kind": "unit", "key": "a#2", "payload": {}, "wall_time": 70.0}\n'
+            % JOURNAL_SCHEMA)
+        state = CampaignJournal.read_state(path)
+        assert state.last_progress_at == 90.0
+
+    def test_legacy_journal_without_heartbeat(self, tmp_path):
+        # Journals written before the wall_time field still load fully.
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            '{"kind": "header", "schema": "%s", "fingerprint": "fp"}\n'
+            '{"kind": "unit", "key": "a#0", "payload": {"seed": 1}}\n'
+            % JOURNAL_SCHEMA)
+        state = CampaignJournal.read_state(path, fingerprint="fp")
+        assert state.units == {"a#0": {"seed": 1}}
+        assert state.last_progress_at is None

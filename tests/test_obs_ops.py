@@ -1,0 +1,242 @@
+"""Tests for the control-plane identity layer (repro.obs.ops):
+cross-process trace contexts and the flight recorder."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ValidationError
+from repro.obs.ops import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    TraceContext,
+    current_flight_recorder,
+    current_trace,
+    derive_span_id,
+    flight_dump,
+    flight_note,
+    install_flight_recorder,
+    mint_trace_id,
+    new_trace,
+    trace_scope,
+    uninstall_flight_recorder,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_control_plane():
+    """No trace, no recorder, no telemetry before and after each test."""
+    uninstall_flight_recorder()
+    obs.disable_telemetry()
+    obs.reset_logging()
+    yield
+    uninstall_flight_recorder()
+    obs.disable_telemetry()
+    obs.reset_logging()
+
+
+class TestTraceIdentity:
+    def test_mint_is_hex_and_unique(self):
+        ids = {mint_trace_id() for _ in range(32)}
+        assert len(ids) == 32
+        for trace_id in ids:
+            assert len(trace_id) == 16
+            int(trace_id, 16)
+
+    def test_derive_is_deterministic(self):
+        a = derive_span_id("t", "p", "unit:3")
+        b = derive_span_id("t", "p", "unit:3")
+        assert a == b
+        assert len(a) == 16
+        int(a, 16)
+
+    def test_derive_varies_with_every_input(self):
+        base = derive_span_id("t", "p", "k")
+        assert derive_span_id("T", "p", "k") != base
+        assert derive_span_id("t", "P", "k") != base
+        assert derive_span_id("t", "p", "K") != base
+
+    def test_child_reproducible_across_contexts(self):
+        root = new_trace("campaign")
+        again = TraceContext(trace_id=root.trace_id, span_id=root.span_id)
+        assert root.child("unit:0") == again.child("unit:0")
+        assert root.child("unit:0") != root.child("unit:1")
+
+    def test_child_links_parent(self):
+        root = new_trace()
+        child = root.child("x")
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == root.span_id
+        assert child.span_id != root.span_id
+
+    def test_dict_round_trip(self):
+        ctx = new_trace("r").child("u")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+        assert json.dumps(ctx.to_dict())  # payload is JSON-able
+
+    def test_new_trace_has_no_parent(self):
+        assert new_trace().parent_span_id is None
+
+
+class TestTraceScope:
+    def test_default_is_none(self):
+        assert current_trace() is None
+
+    def test_install_and_restore(self):
+        ctx = new_trace()
+        with trace_scope(ctx) as installed:
+            assert installed is ctx
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_nesting_restores_outer(self):
+        outer, inner = new_trace(), new_trace()
+        with trace_scope(outer):
+            with trace_scope(inner):
+                assert current_trace() is inner
+            assert current_trace() is outer
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with trace_scope(new_trace()):
+                raise RuntimeError("boom")
+        assert current_trace() is None
+
+    def test_rejects_non_context(self):
+        with pytest.raises(ValidationError, match="TraceContext"):
+            with trace_scope("deadbeef"):
+                pass  # pragma: no cover
+
+    def test_stamps_enabled_session(self):
+        session = obs.enable_telemetry()
+        ctx = new_trace()
+        with trace_scope(ctx):
+            assert session.trace_id == ctx.trace_id
+        # The stamp survives scope exit (exports outlive the scope)...
+        assert session.trace_id == ctx.trace_id
+        # ...and the first trace wins over later ones.
+        with trace_scope(new_trace()):
+            assert session.trace_id == ctx.trace_id
+
+
+class TestFlightRecorder:
+    def test_capacity_validated(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_ring_buffer_keeps_newest(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.note("unit", index=i)
+        records = recorder.records()
+        assert [r["index"] for r in records] == [2, 3, 4]
+        assert recorder.n_recorded == 5
+        assert all(r["kind"] == "unit" for r in records)
+        assert all("wall_time" in r for r in records)
+
+    def test_note_tolerates_kind_field(self):
+        # Records may carry their own "kind" (e.g. an error kind): the
+        # leading parameter is positional-only so nothing collides.
+        recorder = FlightRecorder(capacity=4)
+        recorder.note("unit", **{"kind": "timeout", "index": 1})
+        assert recorder.records()[0]["index"] == 1
+
+    def test_dump_without_path_is_noop(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        recorder.note("unit", index=0)
+        assert recorder.dump("test") is None
+        assert recorder.n_dumps == 0
+
+    def test_dump_envelope(self, tmp_path):
+        path = tmp_path / "flight.json"
+        recorder = FlightRecorder(capacity=8, path=path)
+        recorder.note("unit", index=0, status="ok")
+        with trace_scope(new_trace("campaign")) as ctx:
+            written = recorder.dump("timeout-kill", extra={"label": "pool"})
+        assert written == str(path)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == FLIGHT_SCHEMA
+        assert payload["reason"] == "timeout-kill"
+        assert payload["pid"] == os.getpid()
+        assert payload["trace_id"] == ctx.trace_id
+        assert payload["label"] == "pool"
+        assert payload["n_prior_dumps"] == 0
+        assert payload["records"][0]["index"] == 0
+
+    def test_repeat_dumps_overwrite_and_count(self, tmp_path):
+        recorder = FlightRecorder(capacity=4, path=tmp_path / "f.json")
+        recorder.dump("first")
+        recorder.dump("second")
+        payload = json.loads((tmp_path / "f.json").read_text())
+        assert payload["reason"] == "second"
+        assert payload["n_prior_dumps"] == 1
+        assert recorder.n_dumps == 2
+
+    def test_dump_never_raises_on_io_error(self, tmp_path):
+        # Dumping into a directory path must not mask the original failure.
+        recorder = FlightRecorder(capacity=4, path=tmp_path)
+        assert recorder.dump("test") is None
+
+
+class TestInstalledRecorder:
+    def test_module_helpers_are_noops_without_recorder(self):
+        assert current_flight_recorder() is None
+        flight_note("unit", index=0)  # must not raise
+        assert flight_dump("test") is None
+
+    def test_install_and_uninstall(self):
+        recorder = FlightRecorder(capacity=4)
+        assert install_flight_recorder(recorder) is recorder
+        assert current_flight_recorder() is recorder
+        flight_note("unit", index=7)
+        assert recorder.records()[0]["index"] == 7
+        uninstall_flight_recorder()
+        assert current_flight_recorder() is None
+        flight_note("unit", index=8)
+        assert len(recorder.records()) == 1
+
+    def test_install_replaces_previous(self):
+        first, second = FlightRecorder(capacity=4), FlightRecorder(capacity=4)
+        install_flight_recorder(first)
+        install_flight_recorder(second)
+        flight_note("unit", index=1)
+        assert not first.records()
+        assert len(second.records()) == 1
+
+    def test_captures_log_records(self):
+        recorder = install_flight_recorder(FlightRecorder(capacity=8))
+        obs.get_logger("test.flight").warning("pool degraded", workers=2)
+        logs = [r for r in recorder.records() if r["kind"] == "log"]
+        assert logs
+        assert logs[-1]["message"] == "pool degraded"
+        assert logs[-1]["level"] == "warning"
+        assert logs[-1]["workers"] == 2
+
+    def test_captures_span_closures(self):
+        obs.enable_telemetry()
+        recorder = install_flight_recorder(FlightRecorder(capacity=8))
+        with obs.span("stage", cell="aging"):
+            pass
+        spans = [r for r in recorder.records() if r["kind"] == "span"]
+        assert [s["path"] for s in spans] == ["stage"]
+        assert spans[0]["status"] == "ok"
+        assert spans[0]["attrs"]["cell"] == "aging"
+        assert spans[0]["duration"] >= 0
+
+    def test_uninstall_detaches_span_hook(self):
+        session = obs.enable_telemetry()
+        recorder = install_flight_recorder(FlightRecorder(capacity=8))
+        uninstall_flight_recorder()
+        assert session.spans.on_close is None
+        with obs.span("stage"):
+            pass
+        assert not [r for r in recorder.records() if r["kind"] == "span"]
+
+    def test_module_dump_forwards_extra(self, tmp_path):
+        install_flight_recorder(
+            FlightRecorder(capacity=4, path=tmp_path / "f.json"))
+        flight_dump("unit-failures", failed_units=[1, 3])
+        payload = json.loads((tmp_path / "f.json").read_text())
+        assert payload["failed_units"] == [1, 3]

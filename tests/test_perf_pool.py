@@ -200,10 +200,33 @@ class TestCampaignDeterminism:
         with _obs.telemetry_session() as session:
             run_campaign(determinism_specs, workers=2)
             snapshot = session.metrics.snapshot()
-            paths = [r.path for r in session.spans.records]
+            records = list(session.spans.records)
         assert snapshot["campaign.runs_completed"]["value"] == 4
         assert snapshot["perf.pool.units"]["value"] == 4
-        assert any(p.startswith("campaign-worker/") for p in paths)
+        # Worker spans stitch under the parent's open campaign-pool span.
+        paths = [r.path for r in records]
+        worker_spans = [r for r in records
+                        if r.path.startswith("campaign-pool/campaign-worker/")]
+        assert worker_spans
+        assert not any(p.startswith("campaign-worker/") for p in paths)
+        # Every stitched span is tagged with its worker's identity and
+        # the campaign trace (one trace id across all workers).
+        pool_span = next(r for r in records if r.path == "campaign-pool")
+        trace_id = pool_span.attrs["trace_id"]
+        assert session.trace_id == trace_id
+        for r in worker_spans:
+            assert r.attrs["trace_id"] == trace_id
+            assert isinstance(r.attrs["worker_pid"], int)
+            assert r.attrs["worker_ordinal"] >= 0
+            assert r.attrs["span_id"]
+        # Per-worker counters stay distinguishable after the merge and
+        # sum to the aggregate (no double count).
+        per_worker = [
+            value["value"] for name, value in snapshot.items()
+            if name.startswith("campaign-worker.w")
+            and name.endswith(".campaign.runs_completed")
+        ]
+        assert sum(per_worker) == 4
 
 
 class TestFleetWorkers:
