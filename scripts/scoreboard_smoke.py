@@ -1,0 +1,172 @@
+"""Scoreboard smoke: prove the detector tournament works end to end.
+
+Two phases against real ``python -m repro`` subprocesses:
+
+1. **Grid campaign** — ``repro campaign --detectors holder,trend,entropy``
+   over the default aging/healthy cells (3 detector families × 2 cells).
+   The run must write a valid ``repro.scoreboard/1`` artifact with every
+   family scored (finite AUC where an ROC sweep exists), print the
+   league table, and render a dashboard containing the tournament
+   section as self-contained HTML.
+2. **Rebuild from artifacts** — ``repro scoreboard results.json`` must
+   reproduce the exact same scoreboard from the saved campaign results
+   alone (no re-simulation), and export it as OpenMetrics text.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/scoreboard_smoke.py [--max-seconds N]
+
+Exit code 0 means every check passed.  Used by the CI
+``scoreboard-smoke`` job and handy locally after touching the registry,
+scoreboard or their CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DETECTORS = ("holder", "trend", "entropy")
+
+
+def child_env() -> dict:
+    env = dict(os.environ, PYTHONHASHSEED="0", PYTHONUNBUFFERED="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p)
+    return env
+
+
+def run(cmd: list) -> str:
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=child_env(),
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"FAIL: {' '.join(cmd[-6:])} exited {proc.returncode}\n"
+            f"{proc.stdout}\n{proc.stderr}")
+    return proc.stdout
+
+
+def check_scoreboard(path: str) -> dict:
+    with open(path) as handle:
+        board = json.load(handle)
+    if board.get("schema") != "repro.scoreboard/1":
+        raise SystemExit(
+            f"FAIL [campaign]: bad scoreboard schema {board.get('schema')!r}")
+    if set(board["detectors"]) != set(DETECTORS):
+        raise SystemExit(
+            f"FAIL [campaign]: expected families {DETECTORS}, "
+            f"got {sorted(board['detectors'])}")
+    if board["n_cells"] != 2 * len(DETECTORS):
+        raise SystemExit(
+            f"FAIL [campaign]: expected {2 * len(DETECTORS)} grid cells, "
+            f"got {board['n_cells']}")
+    for name, det in board["detectors"].items():
+        if det["crashed"] < 1:
+            raise SystemExit(
+                f"FAIL [campaign]: no crashes scored for {name!r} -- "
+                "raise --max-seconds")
+        if det["roc"] is None:
+            raise SystemExit(
+                f"FAIL [campaign]: {name!r} has no ROC sweep "
+                "(missing peak statistics?)")
+        auc = det["auc"]
+        if auc is None or not math.isfinite(auc) or not 0.0 <= auc <= 1.0:
+            raise SystemExit(f"FAIL [campaign]: {name!r} AUC is {auc!r}")
+    return board
+
+
+def phase_grid_campaign(workdir: str, *, max_seconds: float) -> dict:
+    out = os.path.join(workdir, "results.json")
+    sb = os.path.join(workdir, "scoreboard.json")
+    dash = os.path.join(workdir, "dashboard.html")
+    stdout = run([
+        sys.executable, "-m", "repro", "campaign",
+        "--runs", "2", "--max-seconds", str(max_seconds),
+        "--base-seed", "42", "--detectors", ",".join(DETECTORS),
+        "--out", out, "--scoreboard", sb, "--dashboard", dash,
+    ])
+    if "Detector tournament" not in stdout:
+        raise SystemExit("FAIL [campaign]: no league table on stdout")
+    board = check_scoreboard(sb)
+
+    html = open(dash).read()
+    if not html.startswith("<!DOCTYPE html>"):
+        raise SystemExit("FAIL [campaign]: dashboard is not an HTML document")
+    if "Detector tournament" not in html or "<svg" not in html:
+        raise SystemExit(
+            "FAIL [campaign]: dashboard lacks the tournament section")
+    for name in DETECTORS:
+        if name not in html:
+            raise SystemExit(
+                f"FAIL [campaign]: detector {name!r} missing from dashboard")
+
+    aucs = ", ".join(f"{name}={board['detectors'][name]['auc']:.3f}"
+                     for name in sorted(board["detectors"]))
+    print(f"ok [campaign]: {board['n_cells']} grid cells scored ({aucs}); "
+          f"dashboard {len(html)} bytes")
+    return board
+
+
+def phase_rebuild(workdir: str, board: dict) -> None:
+    results = os.path.join(workdir, "results.json")
+    rebuilt_path = os.path.join(workdir, "rebuilt.json")
+    prom = os.path.join(workdir, "scoreboard.prom")
+    run([
+        sys.executable, "-m", "repro", "scoreboard", results,
+        "-o", rebuilt_path, "--prom", prom,
+    ])
+    with open(rebuilt_path) as handle:
+        rebuilt = json.load(handle)
+    if rebuilt != board:
+        raise SystemExit(
+            "FAIL [rebuild]: scoreboard rebuilt from saved results differs "
+            "from the campaign's own artifact")
+    text = open(prom).read()
+    if not text.endswith("# EOF\n"):
+        raise SystemExit("FAIL [rebuild]: export is not OpenMetrics text")
+    if "repro_scoreboard_auc" not in text or 'detector="holder"' not in text:
+        raise SystemExit("FAIL [rebuild]: export lacks scoreboard families")
+    print(f"ok [rebuild]: artifact-only rebuild identical; "
+          f"{len(text.splitlines())} OpenMetrics lines")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-seconds", type=float, default=20_000.0,
+                        help="simulated seconds per aging run "
+                             "(default: %(default)s)")
+    parser.add_argument("--keep-artifacts", metavar="DIR", default=None,
+                        help="copy the scoreboard artifacts here")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="scoreboard-smoke-") as workdir:
+        print(f"phase 1/2: grid campaign ({len(DETECTORS)} detector "
+              f"families x 2 cells)")
+        board = phase_grid_campaign(workdir, max_seconds=args.max_seconds)
+
+        print("phase 2/2: rebuild the scoreboard from saved results alone")
+        phase_rebuild(workdir, board)
+
+        if args.keep_artifacts:
+            os.makedirs(args.keep_artifacts, exist_ok=True)
+            for name in ("scoreboard.json", "scoreboard.prom",
+                         "dashboard.html"):
+                shutil.copyfile(os.path.join(workdir, name),
+                                os.path.join(args.keep_artifacts, name))
+
+    print("scoreboard smoke passed: tournament scored, artifact rebuilt, "
+          "dashboard rendered")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

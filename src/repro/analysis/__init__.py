@@ -11,6 +11,12 @@ This subpackage is that workflow as a first-class, reusable API:
   with per-run records and aggregate detection metrics.
 * :mod:`~repro.analysis.results` — JSON-file persistence of campaign
   results and a flat-table view for reporting.
+* :mod:`~repro.analysis.detector_registry` — named detector families
+  (Hölder variants, trend, naive, entropy) with one uniform evaluation
+  contract, so campaigns sweep the scenario × detector grid.
+* :mod:`~repro.analysis.scoreboard` — the detector tournament artifact:
+  per-(cell, detector) ROC/AUC, lead-time quantiles and false-alarm
+  rates, rebuildable from saved results alone.
 """
 
 from .campaign import (
@@ -21,11 +27,28 @@ from .campaign import (
     MissingUnit,
     campaign_fingerprint,
     cells_payload,
+    detector_grid,
     execute_campaign,
     run_campaign,
 )
 from .checkpoint import CampaignJournal, config_fingerprint
+from .detector_registry import (
+    DetectorEvaluation,
+    detector_names,
+    evaluate_detector,
+    register_detector,
+    split_peak_scores,
+)
 from .results import save_results, load_results, results_table
+from .scoreboard import (
+    SCOREBOARD_SCHEMA,
+    build_scoreboard,
+    load_scoreboard,
+    publish_scoreboard,
+    save_scoreboard,
+    scoreboard_from_results,
+    scoreboard_table,
+)
 
 __all__ = [
     "ExperimentSpec",
@@ -34,12 +57,25 @@ __all__ = [
     "CampaignOutcome",
     "MissingUnit",
     "CampaignJournal",
+    "DetectorEvaluation",
+    "SCOREBOARD_SCHEMA",
+    "build_scoreboard",
     "campaign_fingerprint",
     "config_fingerprint",
     "cells_payload",
+    "detector_grid",
+    "detector_names",
+    "evaluate_detector",
     "execute_campaign",
+    "load_results",
+    "load_scoreboard",
+    "publish_scoreboard",
+    "register_detector",
+    "results_table",
     "run_campaign",
     "save_results",
-    "load_results",
-    "results_table",
+    "save_scoreboard",
+    "scoreboard_from_results",
+    "scoreboard_table",
+    "split_peak_scores",
 ]

@@ -11,14 +11,13 @@ API for downstream parameter studies.
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from functools import partial
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .._validation import check_choice, check_positive, check_positive_int
-from ..core import analyze_counter
 from ..core.detectors import DetectorConfig
 from ..exceptions import AnalysisError, ExecutionError, ValidationError
 from ..memsim.scenarios import SCENARIO_NAMES, build_scenario
@@ -29,6 +28,7 @@ from ..perf.pool import resilient_map, resolve_workers
 from ..stats.roc import DetectionOutcome, score_detections
 from ..testing.chaos import ChaosError, ChaosSpec, chaos_pre_unit
 from .checkpoint import CampaignJournal, config_fingerprint
+from .detector_registry import detector_names, evaluate_detector
 
 _log = get_logger("analysis.campaign")
 
@@ -57,7 +57,16 @@ class ExperimentSpec:
     indicator:
         ``"mean"`` or ``"variance"`` Hölder moment.
     detector:
-        Detector configuration.
+        Detector configuration (consumed by the Hölder family).
+    detector_name:
+        Which registered detector family scores the cell's runs (see
+        :mod:`repro.analysis.detector_registry`); ``"holder"`` is the
+        legacy default and keeps alarms bit-identical to pre-registry
+        campaigns.
+    collect_scores:
+        Record per-run peak decision statistics (healthy vs pre-crash)
+        for scoreboard ROC sweeps.  Observation-only — alarm times are
+        identical with it on or off.
     max_run_seconds:
         Simulation budget per run.
     """
@@ -71,6 +80,8 @@ class ExperimentSpec:
     counter: str = "AvailableBytes"
     indicator: str = "mean"
     detector: DetectorConfig = field(default_factory=DetectorConfig)
+    detector_name: str = "holder"
+    collect_scores: bool = True
     max_run_seconds: float = 80_000.0
 
     def __post_init__(self) -> None:
@@ -80,6 +91,8 @@ class ExperimentSpec:
         check_choice(self.profile, name="profile", choices=("nt4", "w2k"))
         check_positive_int(self.n_runs, name="n_runs")
         check_choice(self.indicator, name="indicator", choices=("mean", "variance"))
+        check_choice(self.detector_name, name="detector_name",
+                     choices=detector_names())
         check_positive(self.max_run_seconds, name="max_run_seconds")
         if self.fault_factor < 0:
             raise ValidationError("fault_factor must be non-negative")
@@ -87,7 +100,14 @@ class ExperimentSpec:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Per-run outcome within a cell."""
+    """Per-run outcome within a cell.
+
+    ``detector`` names the registry family that scored the run;
+    ``peak_healthy``/``peak_precrash`` are its peak decision statistics
+    over the run's healthy and pre-crash segments (None when score
+    collection was off, the segment was empty, or the record predates
+    the scoreboard — the defaults keep v1 journals and results loadable).
+    """
 
     seed: int
     crashed: bool
@@ -96,6 +116,9 @@ class RunRecord:
     alarm_time: Optional[float]
     lead_time: Optional[float]
     duration: float
+    detector: str = "holder"
+    peak_healthy: Optional[float] = None
+    peak_precrash: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -139,18 +162,22 @@ def _execute_run(spec: ExperimentSpec, run_index: int) -> RunRecord:
     what makes ``workers=N`` output bit-identical to ``workers=1``.
     """
     seed = spec.base_seed + run_index
-    with _obs.span("cell-run", cell=spec.name, run_index=run_index, seed=seed):
+    with _obs.span("cell-run", cell=spec.name, run_index=run_index, seed=seed,
+                   detector=spec.detector_name):
         machine = _build(spec, seed)
         result = machine.run()
 
         alarm_time: Optional[float] = None
+        peak_healthy: Optional[float] = None
+        peak_precrash: Optional[float] = None
         try:
-            analysis = analyze_counter(
-                result.bundle[spec.counter],
-                indicator=spec.indicator,
-                detector_config=spec.detector,
+            evaluation = evaluate_detector(
+                spec.detector_name, result.bundle, spec,
+                collect_scores=spec.collect_scores,
             )
-            alarm_time = analysis.alarm.alarm_time
+            alarm_time = evaluation.alarm_time
+            peak_healthy = evaluation.peak_healthy
+            peak_precrash = evaluation.peak_precrash
         except (AnalysisError, ValidationError) as exc:
             # Expected on too-short runs or degenerate counters; anything
             # else (a real bug) must propagate, especially off a worker.
@@ -158,6 +185,7 @@ def _execute_run(spec: ExperimentSpec, run_index: int) -> RunRecord:
             _obs.counter("campaign.analysis_failures").inc()
             _log.warning("counter analysis failed; scoring run as no-alarm",
                          cell=spec.name, seed=seed,
+                         detector=spec.detector_name,
                          error_type=type(exc).__name__, error=str(exc))
 
     lead = None
@@ -171,8 +199,14 @@ def _execute_run(spec: ExperimentSpec, run_index: int) -> RunRecord:
         alarm_time=alarm_time,
         lead_time=lead,
         duration=result.duration,
+        detector=spec.detector_name,
+        peak_healthy=peak_healthy,
+        peak_precrash=peak_precrash,
     )
     _obs.counter("campaign.runs_completed").inc()
+    _obs.counter(f"campaign.detector.{spec.detector_name}.runs").inc()
+    if alarm_time is not None:
+        _obs.counter(f"campaign.detector.{spec.detector_name}.alarms").inc()
     _log.info("run finished", cell=spec.name,
               run=f"{run_index + 1}/{spec.n_runs}",
               seed=seed, crashed=result.crashed,
@@ -229,6 +263,7 @@ def cells_payload(results: Dict[str, CellResult]) -> Dict[str, dict]:
             "scenario": cell.spec.scenario,
             "profile": cell.spec.profile,
             "fault_factor": cell.spec.fault_factor,
+            "detector": cell.spec.detector_name,
             "runs": [
                 {
                     "seed": r.seed,
@@ -237,17 +272,43 @@ def cells_payload(results: Dict[str, CellResult]) -> Dict[str, dict]:
                     "alarm_time": r.alarm_time,
                     "lead_time": r.lead_time,
                     "duration": r.duration,
+                    "peak_healthy": r.peak_healthy,
+                    "peak_precrash": r.peak_precrash,
                 }
                 for r in cell.runs
             ],
             "crashed": cell.n_crashed,
             "detected": cell.outcome.n_detected if cell.outcome else 0,
+            "premature": cell.outcome.n_premature if cell.outcome else 0,
             "missed": cell.outcome.n_missed if cell.outcome else 0,
             "median_lead": None if np.isnan(median) else median,
             "false_alarms": cell.false_alarms,
             "lead_times": list(cell.outcome.lead_times) if cell.outcome else [],
         }
     return payload
+
+
+def detector_grid(specs: Sequence[ExperimentSpec],
+                  detectors: Sequence[str]) -> List[ExperimentSpec]:
+    """Expand scenario cells × detector names into a tournament grid.
+
+    Every cell in ``specs`` is replicated once per detector name as
+    ``<cell>@<detector>``; seeds, scenarios and budgets are untouched,
+    so each detector family scores the *same* simulated runs and the
+    scoreboard comparison is apples-to-apples.
+    """
+    if not specs:
+        raise ValidationError("detector grid needs at least one spec")
+    if not detectors:
+        raise ValidationError("detector grid needs at least one detector name")
+    if len(set(detectors)) != len(detectors):
+        raise ValidationError(f"duplicate detector names: {list(detectors)}")
+    grid: List[ExperimentSpec] = []
+    for spec in specs:
+        for name in detectors:
+            grid.append(replace(spec, name=f"{spec.name}@{name}",
+                                detector_name=name))
+    return grid
 
 
 @dataclass(frozen=True)
@@ -422,7 +483,11 @@ def execute_campaign(
             if journal_handle is not None:
                 journal_handle.record_unit(key, asdict(record))
             if status is not None:
-                status.unit_finished(cell=pending_units[index][0].name)
+                status.unit_finished(
+                    cell=pending_units[index][0].name,
+                    detector=pending_units[index][0].detector_name,
+                    alarmed=record.alarm_time is not None,
+                )
 
         pre_unit = (partial(chaos_pre_unit, chaos)
                     if chaos is not None else None)

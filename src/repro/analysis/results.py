@@ -18,7 +18,11 @@ from ..obs.atomic import atomic_write_json
 from .campaign import CellResult, ExperimentSpec, RunRecord
 from ..stats.roc import DetectionOutcome
 
-_SCHEMA_VERSION = 1
+# v2 added per-run detector names and peak decision statistics (the
+# scoreboard's ROC inputs); v1 files predate the detector tournament and
+# load with every run mapped to the default Hölder detector, no peaks.
+_SCHEMA_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def save_results(results: Dict[str, CellResult], path: str | os.PathLike) -> None:
@@ -43,10 +47,10 @@ def load_results(path: str | os.PathLike) -> Dict[str, CellResult]:
     with open(path, "r") as handle:
         payload = json.load(handle)
     version = payload.get("schema_version")
-    if version != _SCHEMA_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise TraceError(
             f"unsupported results schema version {version!r} "
-            f"(expected {_SCHEMA_VERSION})"
+            f"(readable: {_READABLE_VERSIONS})"
         )
     out: Dict[str, CellResult] = {}
     for name, cell in payload["cells"].items():

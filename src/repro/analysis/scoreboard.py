@@ -1,0 +1,244 @@
+"""Detector tournament scoreboard: ROC/lead-time ranking over a campaign.
+
+A grid campaign (see :func:`repro.analysis.campaign.detector_grid`) runs
+every detector family over the same simulated scenario cells.  This
+module folds the per-run records of such a campaign into one versioned
+JSON artifact — schema ``repro.scoreboard/1`` — holding, per (cell,
+detector) and pooled per detector:
+
+* the ROC curve and AUC, swept from the stored per-run peak decision
+  statistics (pre-crash peaks are positives, healthy-segment peaks are
+  negatives) via :func:`repro.stats.roc.roc_curve` — no re-simulation;
+* lead-time quantiles (p50/p90) over detected crashes;
+* detection / premature / missed counts and rates;
+* false alarms and the false-alarm rate per hour of healthy runtime.
+
+Construction is pure post-processing over records the campaign already
+produced: building (or skipping) a scoreboard cannot perturb a single
+alarm, which is enforced in tests.  The artifact is rebuildable from
+saved campaign results or run manifests alone (``repro scoreboard``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import TraceError
+from ..obs import session as _obs
+from ..obs.atomic import atomic_write_json
+from ..stats.roc import auc, roc_curve
+from .campaign import CellResult, cells_payload
+
+__all__ = [
+    "SCOREBOARD_SCHEMA",
+    "build_scoreboard",
+    "scoreboard_from_results",
+    "save_scoreboard",
+    "load_scoreboard",
+    "scoreboard_table",
+    "publish_scoreboard",
+]
+
+SCOREBOARD_SCHEMA = "repro.scoreboard/1"
+
+
+def _quantile(values: List[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def _rate(part: int, whole: int) -> Optional[float]:
+    """part/whole, or None when the denominator is empty (no evidence)."""
+    return part / whole if whole else None
+
+
+def _roc_block(pos: List[float], neg: List[float]) -> Tuple[Optional[dict], Optional[float]]:
+    """ROC + AUC from pooled peak statistics; None when either side is
+    empty (a healthy-only or crash-only pool has no sweep to draw)."""
+    if not pos or not neg:
+        return None, None
+    fpr, tpr = roc_curve(pos, neg)
+    return ({"fpr": [float(v) for v in fpr],
+             "tpr": [float(v) for v in tpr]},
+            auc(fpr, tpr))
+
+
+def build_scoreboard(cells: Mapping[str, Mapping]) -> dict:
+    """Fold a campaign cells payload into a ``repro.scoreboard/1`` dict.
+
+    ``cells`` is the shape :func:`repro.analysis.campaign.cells_payload`
+    produces (and run manifests store under ``outcome.cells``).  Legacy
+    payloads without per-run peak statistics still score — their ROC and
+    AUC come back None and their runs map to the default Hölder family.
+    """
+    if not cells:
+        raise TraceError("scoreboard needs at least one campaign cell")
+    cell_entries: Dict[str, dict] = {}
+    for name, cell in cells.items():
+        runs = list(cell.get("runs", []))
+        detector = str(cell.get("detector") or "holder")
+        leads = [float(v) for v in cell.get("lead_times", [])]
+        pos = [float(r["peak_precrash"]) for r in runs
+               if r.get("crashed") and r.get("peak_precrash") is not None]
+        neg = [float(r["peak_healthy"]) for r in runs
+               if r.get("peak_healthy") is not None]
+        crashed = int(cell.get("crashed", 0))
+        detected = int(cell.get("detected", 0))
+        healthy_seconds = sum(float(r.get("duration", 0.0)) for r in runs
+                              if not r.get("crashed"))
+        false_alarms = int(cell.get("false_alarms", 0))
+        roc, area = _roc_block(pos, neg)
+        cell_entries[name] = {
+            "detector": detector,
+            "scenario": cell.get("scenario"),
+            "profile": cell.get("profile"),
+            "fault_factor": cell.get("fault_factor"),
+            "n_runs": len(runs),
+            "crashed": crashed,
+            "detected": detected,
+            "premature": int(cell.get("premature", 0)),
+            "missed": int(cell.get("missed", 0)),
+            "detection_rate": _rate(detected, crashed),
+            "lead_p50": _quantile(leads, 50.0),
+            "lead_p90": _quantile(leads, 90.0),
+            "false_alarms": false_alarms,
+            "healthy_seconds": healthy_seconds,
+            "false_alarms_per_hour": (
+                false_alarms / healthy_seconds * 3600.0
+                if healthy_seconds > 0 else None),
+            "n_pos": len(pos),
+            "n_neg": len(neg),
+            "roc": roc,
+            "auc": area,
+        }
+
+    detectors: Dict[str, dict] = {}
+    for name, entry in sorted(cell_entries.items()):
+        det = detectors.setdefault(entry["detector"], {
+            "cells": [], "n_runs": 0, "crashed": 0, "detected": 0,
+            "premature": 0, "missed": 0, "false_alarms": 0,
+            "healthy_seconds": 0.0, "_leads": [], "_pos": [], "_neg": [],
+        })
+        det["cells"].append(name)
+        for key in ("n_runs", "crashed", "detected", "premature", "missed",
+                    "false_alarms"):
+            det[key] += entry[key]
+        det["healthy_seconds"] += entry["healthy_seconds"]
+        det["_leads"].extend(float(v) for v in cells[name].get("lead_times", []))
+        runs = cells[name].get("runs", [])
+        det["_pos"].extend(float(r["peak_precrash"]) for r in runs
+                           if r.get("crashed")
+                           and r.get("peak_precrash") is not None)
+        det["_neg"].extend(float(r["peak_healthy"]) for r in runs
+                           if r.get("peak_healthy") is not None)
+    for det in detectors.values():
+        leads = det.pop("_leads")
+        pos = det.pop("_pos")
+        neg = det.pop("_neg")
+        roc, area = _roc_block(pos, neg)
+        det["detection_rate"] = _rate(det["detected"], det["crashed"])
+        det["lead_p50"] = _quantile(leads, 50.0)
+        det["lead_p90"] = _quantile(leads, 90.0)
+        det["false_alarms_per_hour"] = (
+            det["false_alarms"] / det["healthy_seconds"] * 3600.0
+            if det["healthy_seconds"] > 0 else None)
+        det["n_pos"] = len(pos)
+        det["n_neg"] = len(neg)
+        det["roc"] = roc
+        det["auc"] = area
+
+    return {
+        "schema": SCOREBOARD_SCHEMA,
+        "n_cells": len(cell_entries),
+        "cells": {name: cell_entries[name] for name in sorted(cell_entries)},
+        "detectors": {name: detectors[name] for name in sorted(detectors)},
+    }
+
+
+def scoreboard_from_results(results: Mapping[str, CellResult]) -> dict:
+    """Build the scoreboard straight from in-memory campaign results."""
+    return build_scoreboard(cells_payload(dict(results)))
+
+
+def save_scoreboard(scoreboard: Mapping, path: str | os.PathLike) -> None:
+    """Write a scoreboard artifact to JSON (atomically)."""
+    if scoreboard.get("schema") != SCOREBOARD_SCHEMA:
+        raise TraceError(
+            f"not a scoreboard payload (schema {scoreboard.get('schema')!r})")
+    atomic_write_json(path, dict(scoreboard))
+
+
+def load_scoreboard(path: str | os.PathLike) -> dict:
+    """Read a scoreboard artifact written by :func:`save_scoreboard`."""
+    with open(path, "r") as handle:
+        payload = json.load(handle)
+    schema = payload.get("schema")
+    if schema != SCOREBOARD_SCHEMA:
+        raise TraceError(
+            f"unsupported scoreboard schema {schema!r} "
+            f"(expected {SCOREBOARD_SCHEMA})"
+        )
+    return payload
+
+
+def _cell_value(value: Optional[float]) -> object:
+    """Table cell: '—' for undefined numerics (no-evidence, not zero)."""
+    if value is None:
+        return "—"
+    if isinstance(value, float) and math.isnan(value):
+        return "—"
+    return value
+
+
+def scoreboard_table(scoreboard: Mapping) -> List[List[object]]:
+    """League-table rows (one per detector) for
+    :func:`repro.report.render_table`.
+
+    Columns: detector, cells, runs, crashed, detected, rate, premature,
+    missed, lead p50, lead p90, false alarms/h, AUC.  Undefined figures
+    render as "—" rather than a misleading 0.
+    """
+    rows: List[List[object]] = []
+    for name, det in scoreboard.get("detectors", {}).items():
+        rows.append([
+            name,
+            len(det.get("cells", [])),
+            det.get("n_runs", 0),
+            det.get("crashed", 0),
+            det.get("detected", 0),
+            _cell_value(det.get("detection_rate")),
+            det.get("premature", 0),
+            det.get("missed", 0),
+            _cell_value(det.get("lead_p50")),
+            _cell_value(det.get("lead_p90")),
+            _cell_value(det.get("false_alarms_per_hour")),
+            _cell_value(det.get("auc")),
+        ])
+    return rows
+
+
+def publish_scoreboard(scoreboard: Mapping) -> None:
+    """Mirror the per-detector headline figures into the live metrics
+    registry as ``scoreboard.<detector>.*`` gauges.
+
+    With telemetry enabled they flow out through every existing surface —
+    the Prometheus/OpenMetrics exporter, the ``/metrics`` endpoint and
+    the run manifest; without a session this is a no-op.  Observation
+    only, like the rest of the scoreboard.
+    """
+    if not _obs.telemetry_enabled():
+        return
+    for name, det in scoreboard.get("detectors", {}).items():
+        for key in ("auc", "detection_rate", "lead_p50", "lead_p90",
+                    "false_alarms_per_hour"):
+            value = det.get(key)
+            if value is not None:
+                _obs.gauge(f"scoreboard.{name}.{key}").set(float(value))
+        _obs.gauge(f"scoreboard.{name}.false_alarms").set(
+            float(det.get("false_alarms", 0)))

@@ -7,14 +7,24 @@
   exhaustion drops below a horizon.
 * :class:`RawThresholdDetector` — the naive operator rule: alarm when
   the raw counter itself crosses a fixed fraction of its healthy level.
+* :class:`RollingEntropyDetector` — the CHAOS-style rival (arXiv
+  1502.00781): alarm when the Shannon entropy of the counter's
+  short-term increments departs from its healthy level.
+
+Every detector also exposes ``decision_scores`` — the per-sample
+decision statistic the scoreboard's ROC sweeps reuse without
+re-simulation (see :mod:`repro.analysis.scoreboard`).
 """
 
 from .trend import TrendExhaustionDetector, TrendAlarm, predict_exhaustion_time
 from .naive import RawThresholdDetector
+from .entropy import RollingEntropyDetector, rolling_entropy
 
 __all__ = [
     "TrendExhaustionDetector",
     "TrendAlarm",
     "predict_exhaustion_time",
     "RawThresholdDetector",
+    "RollingEntropyDetector",
+    "rolling_entropy",
 ]

@@ -1,0 +1,171 @@
+"""CHAOS-style rolling-entropy aging detector (arXiv 1502.00781).
+
+CHAOS observes that a degrading system's resource counters lose (or
+abruptly gain) behavioural diversity as aging faults accumulate —
+thrashing collapses a counter onto a few levels, leaks turn noise into a
+near-deterministic ramp — and detects aging as a shift in the *entropy*
+of the counter's short-term dynamics rather than in its level.
+
+This implementation follows that recipe on counter increments:
+
+1. Difference the counter (increments are level-free, so a slow drift
+   does not masquerade as an entropy change by sliding values across
+   fixed bins).
+2. Slide a window over the increments; inside each window, histogram the
+   increments into ``bins`` equal-width bins spanning that window's own
+   range and compute the normalised Shannon entropy in [0, 1].
+3. Calibrate the healthy entropy level on the leading
+   ``calibration_fraction`` of entropy samples, then monitor the
+   two-sided z-score: alarm when it stays beyond ``threshold_sigma`` for
+   ``min_consecutive`` consecutive windows.
+
+The detector competes in the scoreboard tournament as the ``entropy``
+family; :meth:`RollingEntropyDetector.decision_scores` exposes the
+z-score series that threshold sweeps (ROC) reuse without re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_in_range, check_positive, check_positive_int
+from ..exceptions import AnalysisError
+from ..trace.series import TimeSeries
+
+__all__ = ["RollingEntropyDetector", "rolling_entropy"]
+
+
+def rolling_entropy(
+    values: np.ndarray,
+    *,
+    window: int,
+    step: int,
+    bins: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised Shannon entropy of a sliding histogram of increments.
+
+    Returns ``(right_edges, entropies)`` where ``right_edges`` indexes
+    the last increment of each window (into the increments array) and
+    each entropy lies in ``[0, 1]`` (0 for a constant window, 1 for a
+    uniform spread over all bins).
+    """
+    check_positive_int(window, name="window", minimum=8)
+    check_positive_int(step, name="step")
+    check_positive_int(bins, name="bins", minimum=2)
+    increments = np.diff(np.asarray(values, dtype=float))
+    n = increments.size
+    if n < window:
+        raise AnalysisError(
+            f"need at least {window} increments for one entropy window, "
+            f"got {n}"
+        )
+    idx = []
+    ent = []
+    log_bins = np.log(bins)
+    for end in range(window, n + 1, step):
+        chunk = increments[end - window:end]
+        lo = float(chunk.min())
+        hi = float(chunk.max())
+        if hi <= lo:
+            h = 0.0
+        else:
+            counts, _ = np.histogram(chunk, bins=bins, range=(lo, hi))
+            p = counts[counts > 0] / float(window)
+            h = float(-np.sum(p * np.log(p)) / log_bins)
+        idx.append(end - 1)
+        ent.append(h)
+    return np.asarray(idx, dtype=int), np.asarray(ent)
+
+
+@dataclass
+class RollingEntropyDetector:
+    """Calibrate-then-monitor detector on rolling increment entropy.
+
+    Parameters
+    ----------
+    window:
+        Increments per entropy window.
+    step:
+        Increments between consecutive entropy evaluations.
+    bins:
+        Histogram bins per window.
+    warmup_fraction:
+        Leading fraction of the raw series discarded (boot transient).
+    calibration_fraction:
+        Fraction of the entropy series treated as the healthy baseline.
+    threshold_sigma:
+        Two-sided z-score alarm level.
+    min_consecutive:
+        Consecutive beyond-threshold windows required (debounce).
+    """
+
+    window: int = 128
+    step: int = 16
+    bins: int = 16
+    warmup_fraction: float = 0.05
+    calibration_fraction: float = 0.3
+    threshold_sigma: float = 4.0
+    min_consecutive: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.window, name="window", minimum=8)
+        check_positive_int(self.step, name="step")
+        check_positive_int(self.bins, name="bins", minimum=2)
+        check_in_range(self.warmup_fraction, name="warmup_fraction",
+                       low=0.0, high=0.5)
+        check_in_range(self.calibration_fraction, name="calibration_fraction",
+                       low=0.02, high=0.8)
+        check_positive(self.threshold_sigma, name="threshold_sigma")
+        check_positive_int(self.min_consecutive, name="min_consecutive")
+
+    def _entropy_series(self, ts: TimeSeries) -> tuple[np.ndarray, np.ndarray, int]:
+        """Entropy samples, their times, and the calibration count."""
+        clean = ts.dropna()
+        n_warm = int(np.floor(len(clean) * self.warmup_fraction))
+        values = clean.values[n_warm:]
+        # Entropy window `end` covers increments up to values[end]; stamp
+        # each sample with the time of the last raw value it saw.
+        times = clean.times[n_warm:]
+        idx, ent = rolling_entropy(values, window=self.window,
+                                   step=self.step, bins=self.bins)
+        ent_times = times[idx + 1]
+        n_cal = int(np.floor(ent.size * self.calibration_fraction))
+        if n_cal < 8:
+            raise AnalysisError(
+                f"entropy calibration window has only {n_cal} samples; "
+                "need >= 8 (series too short for the configured window/step)"
+            )
+        return ent_times, ent, n_cal
+
+    def _zscores(self, ts: TimeSeries) -> tuple[np.ndarray, np.ndarray]:
+        ent_times, ent, n_cal = self._entropy_series(ts)
+        baseline = ent[:n_cal]
+        mean = float(np.mean(baseline))
+        std = float(np.std(baseline, ddof=1))
+        if std == 0:
+            std = max(abs(mean) * 1e-6, 1e-12)
+        scores = np.abs(ent[n_cal:] - mean) / std
+        return ent_times[n_cal:], scores
+
+    def run(self, ts: TimeSeries) -> Optional[float]:
+        """Return the first alarm time, or None."""
+        times, scores = self._zscores(ts)
+        beyond = scores > self.threshold_sigma
+        run_length = 0
+        for i, flag in enumerate(beyond):
+            run_length = run_length + 1 if flag else 0
+            if run_length >= self.min_consecutive:
+                return float(times[i])
+        return None
+
+    def decision_scores(self, ts: TimeSeries) -> tuple[np.ndarray, np.ndarray]:
+        """Two-sided entropy z-score per monitored window.
+
+        The configured alarm sits at ``threshold_sigma`` (debounce
+        excluded, as for the other families).  Observation-only:
+        :meth:`run` is untouched.
+        """
+        return self._zscores(ts)

@@ -46,8 +46,7 @@ class RawThresholdDetector:
                        low=0.02, high=0.8)
         check_positive_int(self.min_consecutive, name="min_consecutive")
 
-    def run(self, ts: TimeSeries) -> Optional[float]:
-        """Return the first alarm time, or None."""
+    def _calibrate(self, ts: TimeSeries) -> tuple[TimeSeries, int, float]:
         clean = ts.dropna()
         n = len(clean)
         n_cal = int(n * self.calibration_fraction)
@@ -56,6 +55,11 @@ class RawThresholdDetector:
                 f"calibration window has {n_cal} samples; need >= 8"
             )
         baseline = float(np.median(clean.values[:n_cal]))
+        return clean, n_cal, baseline
+
+    def run(self, ts: TimeSeries) -> Optional[float]:
+        """Return the first alarm time, or None."""
+        clean, n_cal, baseline = self._calibrate(ts)
         limit = baseline * self.fraction_of_baseline
         below = clean.values[n_cal:] < limit
         times = clean.times[n_cal:]
@@ -65,3 +69,21 @@ class RawThresholdDetector:
             if run_length >= self.min_consecutive:
                 return float(times[i])
         return None
+
+    def decision_scores(self, ts: TimeSeries) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample depletion fraction over the monitored segment.
+
+        The score is ``1 - value / baseline`` — 0 at the healthy median,
+        1 at full exhaustion — so the configured alarm level sits at
+        ``1 - fraction_of_baseline``.  Observation-only: :meth:`run` is
+        untouched (its consecutive-sample debounce is not part of the
+        statistic).
+        """
+        clean, n_cal, baseline = self._calibrate(ts)
+        if baseline <= 0:
+            raise AnalysisError(
+                f"baseline median must be positive to score depletion, "
+                f"got {baseline}"
+            )
+        scores = 1.0 - clean.values[n_cal:] / baseline
+        return clean.times[n_cal:], scores

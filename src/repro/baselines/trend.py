@@ -138,6 +138,47 @@ class TrendExhaustionDetector:
             slope_at_alarm=float("nan"), source_name=ts.name,
         )
 
+    def decision_scores(self, ts: TimeSeries) -> tuple[np.ndarray, np.ndarray]:
+        """Per-prediction urgency score along the same scan :meth:`run` does.
+
+        At each prediction step the score is ``horizon_seconds /
+        (exhaustion - now)`` when the trend is significantly decreasing
+        and the extrapolation predicts future exhaustion (0 otherwise, and
+        capped at 1e6 when the prediction is already past) — so the
+        configured alarm sits at score 1.  Observation-only: :meth:`run`
+        is untouched.
+        """
+        clean = ts.dropna()
+        if len(clean) < self.min_samples:
+            raise AnalysisError(
+                f"series {ts.name!r} has {len(clean)} samples; "
+                f"need >= {self.min_samples}"
+            )
+        out_t: list[float] = []
+        out_s: list[float] = []
+        now = clean.times[0] + self.window_seconds
+        t_end = clean.times[-1]
+        while now <= t_end:
+            window = clean.slice_time(now - self.window_seconds, now + 1e-9)
+            score = 0.0
+            if len(window) >= self.min_samples:
+                mk = mann_kendall(window.values, alpha=self.alpha)
+                if mk.trend == "decreasing":
+                    slope = sen_slope(window.times, window.values)
+                    if slope < 0:
+                        level = float(np.median(window.values))
+                        anchor = float(np.median(window.times))
+                        exhaustion = anchor + (self.floor - level) / slope
+                        remaining = exhaustion - now
+                        if remaining <= 0:
+                            score = 1e6
+                        else:
+                            score = min(self.horizon_seconds / remaining, 1e6)
+            out_t.append(now)
+            out_s.append(score)
+            now += self.step_seconds
+        return np.asarray(out_t), np.asarray(out_s)
+
     def _evaluate(self, window: TimeSeries, now: float) -> Optional[tuple[float, float]]:
         """One prediction; returns (exhaustion_time, slope) when alarming."""
         mk = mann_kendall(window.values, alpha=self.alpha)

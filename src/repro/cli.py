@@ -31,6 +31,24 @@ Four subcommands covering the library's main workflows:
         python -m repro campaign --scenario webserver --runs 3 --out results.json
         python -m repro campaign --runs 8 --workers 4
 
+    ``--detectors`` turns the campaign into a detector tournament: every
+    cell is replicated once per named detector family (same seeds, so
+    the families score identical simulated runs) and the league table,
+    ROC curves and lead-time quantiles land in a ``repro.scoreboard/1``
+    artifact and the dashboard::
+
+        python -m repro campaign --runs 4 --detectors holder,trend,entropy \\
+            --scoreboard scoreboard.json --dashboard campaign.html
+
+``scoreboard``
+    Rebuild the detector-tournament scoreboard from saved campaign
+    results (a ``--out`` JSON) or archived run manifests alone — no
+    re-simulation — print the league table and optionally write the
+    artifact, an OpenMetrics rendering and the dashboard::
+
+        python -m repro scoreboard results.json -o scoreboard.json
+        python -m repro scoreboard runs/ --dashboard campaign.html
+
 ``telemetry``
     Summarise run manifests written with ``--telemetry-out`` (stage
     durations, events, metrics) as tables, or export them as flat
@@ -148,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "work units; results are bit-identical to "
                            "sequential (default: all cores; 1 = sequential)")
     camp.add_argument("--out", default=None, help="optional JSON output path")
+    camp.add_argument("--detectors", default=None, metavar="NAME[,NAME...]",
+                      help="run the scenario cells once per named detector "
+                           "family (detector tournament); see "
+                           "`repro scoreboard` for the artifact this feeds")
+    camp.add_argument("--scoreboard", default=None, metavar="JSON",
+                      help="write the detector-tournament scoreboard "
+                           "(schema repro.scoreboard/1) to this path")
     camp.add_argument("--dashboard", default=None, metavar="HTML",
                       help="also render the detection-quality dashboard "
                            "to this HTML file")
@@ -300,6 +325,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="serve live /status, /metrics and /healthz on "
                           "127.0.0.1:PORT while the watch runs "
                           "(0 = pick an ephemeral port)")
+
+    score = sub.add_parser("scoreboard", parents=[common],
+                           help="rebuild the detector-tournament scoreboard "
+                                "from saved campaign artifacts")
+    score.add_argument("path",
+                       help="campaign results JSON (from `repro campaign "
+                            "--out`) or a manifest/run directory")
+    score.add_argument("-o", "--out", default=None, metavar="JSON",
+                       help="write the repro.scoreboard/1 artifact here")
+    score.add_argument("--prom", default=None, metavar="TXT",
+                       help="also write the scoreboard as "
+                            "Prometheus/OpenMetrics text")
+    score.add_argument("--dashboard", default=None, metavar="HTML",
+                       help="render the campaign dashboard (including the "
+                            "tournament section) to this HTML file")
 
     dash = sub.add_parser("dashboard", parents=[common],
                           help="render a self-contained HTML dashboard")
@@ -468,11 +508,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from .analysis import (
         ExperimentSpec,
         cells_payload,
+        detector_grid,
         execute_campaign,
         results_table,
         save_results,
     )
-    from .exceptions import ExecutionError, ReproError
+    from .exceptions import ExecutionError, ReproError, ValidationError
     from .report import render_table
 
     specs = [
@@ -488,6 +529,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             max_run_seconds=min(args.max_seconds, 15_000.0),
         ),
     ]
+    if args.detectors:
+        names = [n.strip() for n in args.detectors.split(",") if n.strip()]
+        try:
+            specs = detector_grid(specs, names)
+        except ValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    n_units = len(specs) * args.runs
     from .perf.pool import resolve_workers
 
     if args.resume and not args.journal:
@@ -500,8 +549,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        scheduled = chaos.scheduled_faults(2 * args.runs)
-        print(f"chaos: sabotaging {len(scheduled)} of {2 * args.runs} "
+        scheduled = chaos.scheduled_faults(n_units)
+        print(f"chaos: sabotaging {len(scheduled)} of {n_units} "
               f"unit(s) ({args.chaos})")
 
     workers = resolve_workers(args.workers)
@@ -533,7 +582,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"(/metrics, /healthz)", flush=True)
 
     suffix = f" across {workers} workers" if workers > 1 else ""
-    print(f"running {2 * args.runs} simulations "
+    print(f"running {n_units} simulations "
           f"({args.scenario}/{args.profile}){suffix}...")
     try:
         try:
@@ -575,6 +624,25 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 for u in outcome.missing
             ],
         )
+        scoreboard = None
+        if args.detectors or args.scoreboard:
+            from .analysis import (
+                build_scoreboard,
+                publish_scoreboard,
+                save_scoreboard,
+                scoreboard_table,
+            )
+
+            scoreboard = build_scoreboard(args._outcome["cells"])
+            publish_scoreboard(scoreboard)
+            print()
+            print(render_table(
+                _SCOREBOARD_HEADERS, scoreboard_table(scoreboard),
+                title="Detector tournament",
+            ))
+            if args.scoreboard:
+                save_scoreboard(scoreboard, args.scoreboard)
+                print(f"scoreboard -> {args.scoreboard}")
         if sampler is not None and args.self_watch:
             watch = (sampler.latest() or {}).get("self_watch") or {}
             state = watch.get("state", "unknown")
@@ -586,7 +654,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             from .obs.dashboard import render_campaign_dashboard, write_dashboard
 
             path = write_dashboard(
-                render_campaign_dashboard(cells=args._outcome["cells"]),
+                render_campaign_dashboard(cells=args._outcome["cells"],
+                                          scoreboard=scoreboard),
                 args.dashboard,
             )
             print(f"dashboard -> {path}")
@@ -607,6 +676,73 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             from .obs.ops import uninstall_flight_recorder
 
             uninstall_flight_recorder()
+
+
+# Column order matches repro.analysis.scoreboard.scoreboard_table rows.
+_SCOREBOARD_HEADERS = [
+    "detector", "cells", "runs", "crashed", "detected", "rate",
+    "premature", "missed", "lead_p50_s", "lead_p90_s", "fa_per_h", "auc",
+]
+
+
+def cmd_scoreboard(args: argparse.Namespace) -> int:
+    """Rebuild the detector scoreboard from saved campaign artifacts."""
+    import os
+
+    from .analysis import (
+        build_scoreboard,
+        cells_payload,
+        load_results,
+        publish_scoreboard,
+        save_scoreboard,
+        scoreboard_table,
+    )
+    from .exceptions import ReproError
+    from .report import render_table
+
+    try:
+        if os.path.isfile(args.path):
+            cells = cells_payload(load_results(args.path))
+            source = f"results file {args.path}"
+        else:
+            from .obs import load_manifests
+            from .obs.dashboard import campaign_cells_from_manifests
+
+            manifests = load_manifests(args.path)
+            cells = campaign_cells_from_manifests(manifests)
+            source = (f"{len(manifests)} manifest(s) under {args.path}")
+        scoreboard = build_scoreboard(cells)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    publish_scoreboard(scoreboard)
+    print(render_table(
+        _SCOREBOARD_HEADERS, scoreboard_table(scoreboard),
+        title=f"Detector tournament — {source}",
+    ))
+    if args.out:
+        save_scoreboard(scoreboard, args.out)
+        print(f"scoreboard -> {args.out}")
+    if args.prom:
+        from .obs.atomic import atomic_write_text
+        from .obs.export import scoreboard_to_prometheus
+
+        atomic_write_text(args.prom, scoreboard_to_prometheus(scoreboard))
+        print(f"openmetrics -> {args.prom}")
+    if args.dashboard:
+        from .obs.dashboard import render_campaign_dashboard, write_dashboard
+
+        path = write_dashboard(
+            render_campaign_dashboard(cells=cells, scoreboard=scoreboard),
+            args.dashboard,
+        )
+        print(f"dashboard -> {path}")
+    args._outcome.update(
+        n_cells=scoreboard["n_cells"],
+        detectors=sorted(scoreboard["detectors"]),
+        scoreboard_file=args.out,
+    )
+    return 0
 
 
 def _format_wall_time(epoch_seconds: float) -> str:
@@ -953,6 +1089,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": cmd_analyze,
         "validate": cmd_validate,
         "campaign": cmd_campaign,
+        "scoreboard": cmd_scoreboard,
         "telemetry": cmd_telemetry,
         "bench": cmd_bench,
         "watch": cmd_watch,

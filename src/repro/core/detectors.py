@@ -137,16 +137,9 @@ class HolderVarianceDetector:
 
     config: DetectorConfig = field(default_factory=DetectorConfig)
 
-    def run(self, indicator: IndicatorSeries) -> AgingAlarm:
-        """Calibrate on the head of the series, monitor the tail.
-
-        Consecutive indicator samples from overlapping windows are
-        heavily autocorrelated, which would let the accumulating schemes
-        (CUSUM/EWMA) count one excursion many times over.  Those schemes
-        therefore monitor the series decimated to one sample per
-        ``indicator.decorrelation_stride``; the level-based threshold
-        scheme keeps the full rate.
-        """
+    def _prepare(self, indicator: IndicatorSeries):
+        """Shared warmup/decimation/calibration for run() and
+        decision_scores(); returns ``(times, values, n_cal, mean, std)``."""
         series = indicator.series
         if self.config.scheme != "threshold":
             # Decimate toward independent samples, but never below ~50
@@ -167,8 +160,6 @@ class HolderVarianceDetector:
                 "(indicator series too short or calibration_fraction too small)"
             )
         baseline = values[:n_cal]
-        monitored = values[n_cal:]
-        mon_times = times[n_cal:]
         if self.config.robust_calibration:
             mean = float(np.median(baseline))
             mad = float(np.median(np.abs(baseline - mean)))
@@ -180,6 +171,21 @@ class HolderVarianceDetector:
             # A perfectly constant baseline makes every scheme degenerate;
             # use a tiny floor so a later change still alarms.
             std = max(abs(mean) * 1e-6, 1e-12)
+        return times, values, n_cal, mean, std
+
+    def run(self, indicator: IndicatorSeries) -> AgingAlarm:
+        """Calibrate on the head of the series, monitor the tail.
+
+        Consecutive indicator samples from overlapping windows are
+        heavily autocorrelated, which would let the accumulating schemes
+        (CUSUM/EWMA) count one excursion many times over.  Those schemes
+        therefore monitor the series decimated to one sample per
+        ``indicator.decorrelation_stride``; the level-based threshold
+        scheme keeps the full rate.
+        """
+        times, values, n_cal, mean, std = self._prepare(indicator)
+        monitored = values[n_cal:]
+        mon_times = times[n_cal:]
 
         # Directional handling: every scheme is built one-sided (upward).
         # A downward watch runs the same scheme on the series mirrored
@@ -221,6 +227,57 @@ class HolderVarianceDetector:
             scheme=scheme,
             source_name=indicator.source_name,
         )
+
+    def decision_scores(self, indicator: IndicatorSeries) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample decision statistic over the monitored segment.
+
+        Returns ``(times, scores)`` for the same monitored samples
+        :meth:`run` inspects, with the score expressed in the scheme's
+        own alarm units so a threshold sweep is meaningful:
+
+        * ``threshold`` — baseline z-score; the configured alarm sits at
+          ``threshold_multiplier`` (consecutive-sample debouncing is an
+          alarm-path nicety, not part of the statistic).
+        * ``cusum`` — the accumulated statistic ``g_t`` (alarm at
+          ``cusum_h``), run over the full segment without the alarm
+          latch.
+        * ``ewma`` — the smoothed deviation in steady-state EWMA sigmas
+          (alarm at ``ewma_L``).
+
+        For ``direction="both"`` the score is the pointwise max of the
+        upward and mirrored-downward statistics.  This is a pure
+        observation: it never feeds back into :meth:`run`, whose alarms
+        stay bit-identical whether or not scores are collected.
+        """
+        times, values, n_cal, mean, std = self._prepare(indicator)
+        monitored = values[n_cal:]
+        mon_times = times[n_cal:]
+        directions = ("up", "down") if self.config.direction == "both" \
+            else (self.config.direction,)
+        per_direction = []
+        for direction in directions:
+            data = monitored if direction == "up" else 2.0 * mean - monitored
+            z = (data - mean) / std
+            if self.config.scheme == "threshold":
+                scores = z
+            elif self.config.scheme == "cusum":
+                scores = np.empty_like(z)
+                g = 0.0
+                for i, zi in enumerate(z):
+                    g = max(0.0, g + zi - self.config.cusum_k)
+                    scores[i] = g
+            else:  # ewma
+                lam = self.config.ewma_lambda
+                sigma_z = std * np.sqrt(lam / (2.0 - lam))
+                scores = np.empty_like(z)
+                smoothed = mean
+                for i, x in enumerate(data):
+                    smoothed = (1.0 - lam) * smoothed + lam * float(x)
+                    scores[i] = (smoothed - mean) / sigma_z
+            per_direction.append(scores)
+        combined = per_direction[0] if len(per_direction) == 1 \
+            else np.maximum(per_direction[0], per_direction[1])
+        return mon_times, combined
 
     def _run_threshold(
         self, times: np.ndarray, values: np.ndarray, mean: float, std: float,

@@ -114,6 +114,7 @@ from .export import (
     manifests_to_csv,
     manifests_to_json,
     manifests_to_prometheus,
+    scoreboard_to_prometheus,
     session_to_prometheus,
     span_tree_rows,
     watch_events_to_prometheus,
@@ -214,6 +215,7 @@ __all__ = [
     "manifests_to_json",
     "manifests_to_csv",
     "manifests_to_prometheus",
+    "scoreboard_to_prometheus",
     "session_to_prometheus",
     "span_tree_rows",
     "watch_events_to_prometheus",

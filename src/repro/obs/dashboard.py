@@ -12,7 +12,11 @@ attached to a CI run, mailed, or opened from disk years later:
   alert-rule markers, and the full alert table.
 * :func:`render_campaign_dashboard` — a whole campaign aggregated from
   run manifests alone: per-cell detection rate, the lead-time
-  distribution as a strip plot, and the false-alarm table.
+  distribution as a strip plot, and the false-alarm table.  When the
+  campaign carried per-run peak decision statistics (a detector
+  tournament grid), the page grows a scoreboard section: the detector
+  league table, per-detector ROC curves as one inline SVG, and the
+  per-(cell, detector) breakdown.
 
 Series with many thousands of samples are decimated per x-bucket to
 (min, max) pairs before plotting, so excursions survive while the SVG
@@ -256,6 +260,8 @@ _STYLE = """
   --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
   --grid: #e1e0d9; --baseline: #c3c2b7; --border: rgba(11,11,11,0.10);
   --series-1: #2a78d6; --series-3: #1baf7a;
+  --series-2: #8a63d2; --series-4: #d03b9b;
+  --series-5: #c98a1b; --series-6: #5a8a99;
   --status-warning: #fab219; --status-serious: #ec835a;
   --status-critical: #d03b3b; --status-good: #0ca30c;
   background: var(--page); color: var(--text-primary);
@@ -268,6 +274,8 @@ _STYLE = """
     --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
     --grid: #2c2c2a; --baseline: #383835; --border: rgba(255,255,255,0.10);
     --series-1: #3987e5; --series-3: #199e70;
+    --series-2: #9d7ae0; --series-4: #df58b4;
+    --series-5: #d99a2b; --series-6: #6fa3b4;
   }
 }
 .viz-root h1 { font-size: 20px; font-weight: 600; margin: 0 0 2px; }
@@ -298,6 +306,20 @@ svg .line { fill: none; stroke-width: 2; stroke-linejoin: round;
   stroke-linecap: round; }
 svg .line.s1 { stroke: var(--series-1); }
 svg .line.s3 { stroke: var(--series-3); }
+svg .line.s2 { stroke: var(--series-2); }
+svg .line.s4 { stroke: var(--series-4); }
+svg .line.s5 { stroke: var(--series-5); }
+svg .line.s6 { stroke: var(--series-6); }
+.legend { display: flex; flex-wrap: wrap; gap: 4px 16px; margin: 8px 0 4px;
+  font-size: 12px; color: var(--text-secondary); }
+.legend .swatch { display: inline-block; width: 14px; height: 3px;
+  vertical-align: middle; margin-right: 5px; border-radius: 2px; }
+.swatch.s1 { background: var(--series-1); }
+.swatch.s3 { background: var(--series-3); }
+.swatch.s2 { background: var(--series-2); }
+.swatch.s4 { background: var(--series-4); }
+.swatch.s5 { background: var(--series-5); }
+.swatch.s6 { background: var(--series-6); }
 svg .ref { stroke: var(--muted); stroke-width: 1; stroke-dasharray: 5 4; }
 svg .ref-label { fill: var(--muted); font-size: 10px; }
 svg .event { stroke-width: 1.5; }
@@ -578,13 +600,17 @@ def campaign_cells_from_manifests(manifests: Sequence) -> Dict[str, dict]:
 def render_campaign_dashboard(
     manifests: Sequence = (), *,
     cells: Optional[Mapping[str, dict]] = None,
+    scoreboard: Optional[Mapping] = None,
     title: Optional[str] = None,
 ) -> str:
     """Render per-cell detection quality aggregated from run manifests.
 
     ``cells`` bypasses manifest extraction when the caller already holds
     a cells payload (e.g. ``repro campaign --dashboard`` rendering the
-    results it just computed).
+    results it just computed).  ``scoreboard`` injects a prebuilt
+    ``repro.scoreboard/1`` artifact for the detector-tournament section;
+    when omitted, one is built from the cells whenever they carry peak
+    decision statistics.
     """
     if cells is not None:
         cells = dict(cells)
@@ -594,6 +620,14 @@ def render_campaign_dashboard(
         raise TraceError(
             "no campaign cells found in manifests — run "
             "`python -m repro campaign --telemetry-out DIR` to produce them")
+    if scoreboard is None and any(
+            run.get("peak_healthy") is not None
+            or run.get("peak_precrash") is not None
+            for cell in cells.values() for run in cell.get("runs", [])):
+        # Imported lazily: analysis imports obs, so a module-level import
+        # here would be circular.
+        from ..analysis.scoreboard import build_scoreboard
+        scoreboard = build_scoreboard(cells)
 
     total_runs = sum(len(c.get("runs", [])) for c in cells.values())
     total_crashed = sum(int(c.get("crashed", 0)) for c in cells.values())
@@ -668,7 +702,10 @@ def render_campaign_dashboard(
                     '</figcaption><p class="empty">none — every warning '
                     'preceded a real crash</p></figure>')
 
-    body = f'<div class="tiles">{"".join(tiles)}</div>' + cell_table + strip + fa_table
+    tournament = (_scoreboard_section(scoreboard)
+                  if scoreboard is not None else "")
+    body = (f'<div class="tiles">{"".join(tiles)}</div>'
+            + cell_table + tournament + strip + fa_table)
     footer = (f"{len(manifests)} manifest(s) · {len(cells)} cell(s) · "
               "generated by repro.obs.dashboard")
     return _page(title or "Aging detection campaign — dashboard",
@@ -729,6 +766,127 @@ def _lead_strip_chart(cells: Dict[str, dict]) -> str:
     return ('<figure class="chart"><figcaption>Lead-time distribution '
             '(one dot per detected crash)</figcaption>'
             + "".join(parts) + "</figure>")
+
+
+# -- detector tournament (scoreboard) ------------------------------------------
+
+# Series classes cycled over detectors in the ROC chart and legend.
+_ROC_SERIES = ("s1", "s3", "s2", "s4", "s5", "s6")
+
+
+def _fmt_ratio(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "—"
+    return f"{float(value):.3f}"
+
+
+def _roc_chart(detectors: Mapping[str, dict]) -> str:
+    """All detectors' pooled ROC curves in one square inline SVG."""
+    curves = [(name, det["roc"]) for name, det in detectors.items()
+              if det.get("roc")]
+    if not curves:
+        return ('<figure class="chart"><figcaption>ROC (peak decision '
+                'statistic)</figcaption><p class="empty">no runs carried '
+                'peak statistics — rerun the campaign with score '
+                'collection on</p></figure>')
+    size, pad = 320, 40
+    plot = size - 2 * pad
+
+    def sx(v: float) -> float:
+        return pad + plot * v
+
+    def sy(v: float) -> float:
+        return pad + plot * (1.0 - v)
+
+    parts = [f'<svg viewBox="0 0 {size} {size}" role="img" '
+             f'aria-label="ROC curves by detector">']
+    for tick in (0.0, 0.25, 0.5, 0.75, 1.0):
+        parts.append(f'<line class="grid" x1="{sx(tick):.1f}" y1="{pad}" '
+                     f'x2="{sx(tick):.1f}" y2="{size - pad}"/>')
+        parts.append(f'<line class="grid" x1="{pad}" y1="{sy(tick):.1f}" '
+                     f'x2="{size - pad}" y2="{sy(tick):.1f}"/>')
+        parts.append(f'<text class="tick" x="{sx(tick):.1f}" '
+                     f'y="{size - pad + 14}" text-anchor="middle">'
+                     f'{tick:g}</text>')
+        parts.append(f'<text class="tick" x="{pad - 6}" '
+                     f'y="{sy(tick) + 3.5:.1f}" text-anchor="end">'
+                     f'{tick:g}</text>')
+    parts.append(f'<line class="ref" x1="{sx(0):.1f}" y1="{sy(0):.1f}" '
+                 f'x2="{sx(1):.1f}" y2="{sy(1):.1f}"/>')
+    parts.append(f'<text class="tick" x="{size / 2:.0f}" y="{size - 6}" '
+                 f'text-anchor="middle">false positive rate</text>')
+    parts.append(f'<text class="tick" x="12" y="{size / 2:.0f}" '
+                 f'text-anchor="middle" transform="rotate(-90 12 '
+                 f'{size / 2:.0f})">true positive rate</text>')
+    legend = []
+    for i, (name, roc) in enumerate(curves):
+        css = _ROC_SERIES[i % len(_ROC_SERIES)]
+        points = " ".join(
+            f"{sx(float(f)):.1f},{sy(float(t)):.1f}"
+            for f, t in zip(roc["fpr"], roc["tpr"]))
+        parts.append(f'<polyline class="line {css}" points="{points}">'
+                     f'<title>{_esc(name)}</title></polyline>')
+        area = detectors[name].get("auc")
+        legend.append(f'<span><span class="swatch {css}"></span>'
+                      f'{_esc(name)} (AUC {_fmt_ratio(area)})</span>')
+    parts.append("</svg>")
+    return ('<figure class="chart"><figcaption>ROC — peak decision '
+            'statistic, pre-crash vs healthy segments</figcaption>'
+            + "".join(parts)
+            + f'<div class="legend">{"".join(legend)}</div></figure>')
+
+
+def _scoreboard_section(scoreboard: Mapping) -> str:
+    """League table + ROC chart + per-(cell, detector) breakdown."""
+    detectors = scoreboard.get("detectors", {})
+    league_rows = []
+    for name, det in detectors.items():
+        crashed = int(det.get("crashed", 0))
+        detected = int(det.get("detected", 0))
+        rate = f"{100.0 * detected / crashed:.0f}%" if crashed else "—"
+        league_rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f"<td class=\"num\">{int(det.get('n_runs', 0))}</td>"
+            f"<td class=\"num\">{crashed}</td>"
+            f"<td class=\"num\">{detected}</td>"
+            f"<td class=\"num\">{rate}</td>"
+            f"<td class=\"num\">{int(det.get('premature', 0))}</td>"
+            f"<td class=\"num\">{int(det.get('missed', 0))}</td>"
+            f"<td class=\"num\">{_fmt_time(det.get('lead_p50'))}</td>"
+            f"<td class=\"num\">{_fmt_time(det.get('lead_p90'))}</td>"
+            f"<td class=\"num\">{_fmt_ratio(det.get('false_alarms_per_hour'))}</td>"
+            f"<td class=\"num\">{_fmt_ratio(det.get('auc'))}</td></tr>"
+        )
+    league = (
+        '<figure class="chart"><figcaption>Detector league table'
+        '</figcaption><table class="data"><thead><tr><th>detector</th>'
+        '<th>runs</th><th>crashed</th><th>detected</th><th>rate</th>'
+        '<th>premature</th><th>missed</th><th>lead p50</th><th>lead p90</th>'
+        '<th>FA/h</th><th>AUC</th></tr></thead>'
+        f'<tbody>{"".join(league_rows)}</tbody></table></figure>'
+    )
+    grid_rows = []
+    for name, cell in scoreboard.get("cells", {}).items():
+        grid_rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            f"<td>{_esc(cell.get('detector'))}</td>"
+            f"<td class=\"num\">{int(cell.get('n_runs', 0))}</td>"
+            f"<td class=\"num\">{_fmt_ratio(cell.get('detection_rate'))}</td>"
+            f"<td class=\"num\">{_fmt_time(cell.get('lead_p50'))}</td>"
+            f"<td class=\"num\">{_fmt_time(cell.get('lead_p90'))}</td>"
+            f"<td class=\"num\">{_fmt_ratio(cell.get('false_alarms_per_hour'))}</td>"
+            f"<td class=\"num\">{_fmt_ratio(cell.get('auc'))}</td></tr>"
+        )
+    grid = (
+        '<details class="tableview"><summary>Scenario × detector grid '
+        '(per-cell breakdown)</summary><table class="data"><thead><tr>'
+        '<th>cell</th><th>detector</th><th>runs</th><th>rate</th>'
+        '<th>lead p50</th><th>lead p90</th><th>FA/h</th><th>AUC</th>'
+        f'</tr></thead><tbody>{"".join(grid_rows)}</tbody></table></details>'
+    )
+    return ('<h2 id="scoreboard" style="font-size:16px;margin:8px 0">'
+            'Detector tournament</h2>'
+            + league + _roc_chart(detectors) + grid)
 
 
 # -- entry points --------------------------------------------------------------

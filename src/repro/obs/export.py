@@ -37,6 +37,7 @@ __all__ = [
     "manifests_to_json",
     "manifests_to_csv",
     "manifests_to_prometheus",
+    "scoreboard_to_prometheus",
     "session_to_prometheus",
     "watch_events_to_prometheus",
     "span_tree_rows",
@@ -354,6 +355,55 @@ def watch_events_to_prometheus(
         writer.sample("watch_state", "gauge", 1,
                       labels={"state": str(end.get("state", "unknown"))},
                       help="final detector state")
+    return writer.render()
+
+
+def scoreboard_to_prometheus(
+    scoreboard: Mapping, *, prefix: str = "repro_",
+) -> str:
+    """Render a ``repro.scoreboard/1`` artifact as OpenMetrics text.
+
+    Per-detector pooled figures are labelled ``detector``; per-cell
+    figures add a ``cell`` label, so one scrape carries both the league
+    table and the grid breakdown.  Undefined figures (no crashed runs,
+    no ROC sweep) are simply omitted rather than exported as fake zeros.
+    """
+    if not scoreboard.get("detectors") and not scoreboard.get("cells"):
+        raise ValidationError("no scoreboard entries to export")
+    writer = PrometheusWriter(prefix=prefix)
+    gauges = (
+        ("auc", "scoreboard_auc", "peak-statistic ROC area under curve"),
+        ("detection_rate", "scoreboard_detection_rate",
+         "detected / crashed runs"),
+        ("lead_p50", "scoreboard_lead_p50_seconds",
+         "median crash lead time (simulated s)"),
+        ("lead_p90", "scoreboard_lead_p90_seconds",
+         "p90 crash lead time (simulated s)"),
+        ("false_alarms_per_hour", "scoreboard_false_alarms_per_hour",
+         "false alarms per hour of healthy runtime"),
+    )
+    counters = (
+        ("n_runs", "scoreboard_runs", "runs scored"),
+        ("crashed", "scoreboard_crashes", "runs that crashed"),
+        ("detected", "scoreboard_detections", "crashes detected in time"),
+        ("premature", "scoreboard_premature", "alarms before the lead gate"),
+        ("missed", "scoreboard_missed", "crashes never alarmed"),
+        ("false_alarms", "scoreboard_false_alarms",
+         "alarms on runs that never crashed"),
+    )
+    def emit(entry: Mapping, labels: Dict[str, object]) -> None:
+        for key, name, help_text in gauges:
+            value = entry.get(key)
+            if value is not None:
+                writer.sample(name, "gauge", value, labels=labels,
+                              help=help_text)
+        for key, name, help_text in counters:
+            writer.sample(name, "counter", entry.get(key, 0), labels=labels,
+                          help=help_text)
+    for name, det in scoreboard.get("detectors", {}).items():
+        emit(det, {"detector": name})
+    for name, cell in scoreboard.get("cells", {}).items():
+        emit(cell, {"detector": cell.get("detector", "holder"), "cell": name})
     return writer.render()
 
 

@@ -48,9 +48,10 @@ STATUS_SCHEMA = "repro.status/1"
 _log = get_logger("obs.statusd")
 
 # Counter namespaces surfaced verbatim in /status — the resilience and
-# campaign numbers an operator tails first.
+# campaign numbers an operator tails first.  "scoreboard." carries the
+# per-detector tournament gauges published after a grid campaign.
 _STATUS_COUNTER_PREFIXES = ("perf.pool.", "campaign.", "resources.",
-                            "obs.flight_dumps")
+                            "obs.flight_dumps", "scoreboard.")
 
 
 class StatusBoard:
@@ -80,6 +81,7 @@ class StatusBoard:
         self._failed = 0
         self._resumed = 0
         self._cells: Dict[str, dict] = {}
+        self._detectors: Dict[str, dict] = {}
         self._ewma_interval: Optional[float] = None
         self._last_finish: Optional[float] = None
         self._last_progress_at: Optional[float] = None
@@ -100,16 +102,30 @@ class StatusBoard:
                 str(name): {"total": int(total), "done": 0, "failed": 0}
                 for name, total in (cells or {}).items()
             }
+            self._detectors = {}
             self._fields.update(fields)
 
-    def unit_finished(self, cell: Optional[str] = None) -> None:
-        """Record one completed unit (updates progress, EWMA, heartbeat)."""
+    def unit_finished(self, cell: Optional[str] = None,
+                      detector: Optional[str] = None,
+                      alarmed: Optional[bool] = None) -> None:
+        """Record one completed unit (updates progress, EWMA, heartbeat).
+
+        ``detector``/``alarmed`` feed the live per-detector tournament
+        tallies in ``/status`` — optional, so non-grid producers (watch
+        loops, older callers) keep working unchanged.
+        """
         now = self._clock()
         with self._lock:
             self._done += 1
             self._last_progress_at = now
             if cell is not None and cell in self._cells:
                 self._cells[cell]["done"] += 1
+            if detector is not None:
+                tally = self._detectors.setdefault(
+                    str(detector), {"done": 0, "alarms": 0})
+                tally["done"] += 1
+                if alarmed:
+                    tally["alarms"] += 1
             anchor = self._last_finish
             if anchor is None:
                 anchor = self._started_at
@@ -166,6 +182,8 @@ class StatusBoard:
                 "units_remaining": remaining,
                 "cells": {name: dict(counts)
                           for name, counts in self._cells.items()},
+                "detectors": {name: dict(counts)
+                              for name, counts in self._detectors.items()},
                 "eta_seconds": eta,
                 "units_per_second": rate,
                 "last_progress_at": self._last_progress_at,

@@ -48,13 +48,19 @@ class DetectionOutcome:
 
     @property
     def detection_rate(self) -> float:
-        """Fraction of runs with a valid warning."""
-        return self.n_detected / self.n_runs if self.n_runs else 0.0
+        """Fraction of runs with a valid warning (NaN when no runs scored).
+
+        An empty cell has no evidence either way; reporting ``0.0`` would
+        make it indistinguishable from a detector that genuinely never
+        fires, so the undefined rate is NaN (rendered "—" in tables).
+        """
+        return self.n_detected / self.n_runs if self.n_runs else float("nan")
 
     @property
     def premature_rate(self) -> float:
-        """Fraction of runs whose first alarm was premature."""
-        return self.n_premature / self.n_runs if self.n_runs else 0.0
+        """Fraction of runs whose first alarm was premature (NaN when no
+        runs were scored — see :attr:`detection_rate`)."""
+        return self.n_premature / self.n_runs if self.n_runs else float("nan")
 
     @property
     def median_lead_time(self) -> float:
@@ -126,20 +132,30 @@ def roc_curve(scores_positive, scores_negative) -> Tuple[np.ndarray, np.ndarray]
     """ROC curve for a scalar score separating two labelled samples.
 
     Returns ``(fpr, tpr)`` arrays swept over every distinct threshold
-    (score > threshold predicts positive), including the (0,0) and (1,1)
+    (score >= threshold predicts positive), including the (0,0) and (1,1)
     endpoints.
+
+    The sweep is vectorised: both samples are sorted once and each
+    threshold's exceedance count comes from a binary search, so the cost
+    is O((m+n) log(m+n)) instead of the naive O((m+n)^2) per-threshold
+    scan.  ``count >= th`` via ``searchsorted(side="left")`` reproduces
+    the comparison-based count exactly, and ``count / size`` is the same
+    float division ``np.mean`` performs on a boolean mask — the output is
+    bit-identical to the loop implementation (enforced by a property
+    test).
     """
     pos = as_1d_float_array(scores_positive, name="scores_positive", min_length=1)
     neg = as_1d_float_array(scores_negative, name="scores_negative", min_length=1)
     thresholds = np.unique(np.concatenate([pos, neg]))[::-1]
-    tpr = [0.0]
-    fpr = [0.0]
-    for th in thresholds:
-        tpr.append(float(np.mean(pos >= th)))
-        fpr.append(float(np.mean(neg >= th)))
-    tpr.append(1.0)
-    fpr.append(1.0)
-    return np.asarray(fpr), np.asarray(tpr)
+    pos_sorted = np.sort(pos)
+    neg_sorted = np.sort(neg)
+    tpr_mid = (pos.size - np.searchsorted(pos_sorted, thresholds,
+                                          side="left")) / pos.size
+    fpr_mid = (neg.size - np.searchsorted(neg_sorted, thresholds,
+                                          side="left")) / neg.size
+    fpr = np.concatenate([[0.0], fpr_mid, [1.0]])
+    tpr = np.concatenate([[0.0], tpr_mid, [1.0]])
+    return fpr, tpr
 
 
 def auc(fpr, tpr) -> float:

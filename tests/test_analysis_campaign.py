@@ -272,19 +272,25 @@ class TestCampaign:
 
 
 class TestRunCellErrorHandling:
-    """The analyze_counter fallback must swallow only expected failures."""
+    """The analysis fallback must swallow only expected failures.
+
+    Detector dispatch moved into the registry, so the Hölder analysis
+    entry point is patched there (campaign code calls it through
+    ``evaluate_detector``).
+    """
 
     SPEC = ExperimentSpec(name="tiny", n_runs=1, base_seed=2,
                           max_run_seconds=9_000.0)
 
     def test_expected_analysis_failure_scores_no_alarm(self, monkeypatch):
         from repro.analysis import campaign as campaign_mod
+        from repro.analysis import detector_registry
         from repro.obs import session as _obs
 
         def bust(*args, **kwargs):
             raise AnalysisError("window too short")
 
-        monkeypatch.setattr(campaign_mod, "analyze_counter", bust)
+        monkeypatch.setattr(detector_registry, "analyze_counter", bust)
         with _obs.telemetry_session() as session:
             result = campaign_mod.run_cell(self.SPEC)
             failures = session.metrics.counter(
@@ -295,10 +301,11 @@ class TestRunCellErrorHandling:
 
     def test_unexpected_exception_propagates(self, monkeypatch):
         from repro.analysis import campaign as campaign_mod
+        from repro.analysis import detector_registry
 
         def crash(*args, **kwargs):
             raise ZeroDivisionError("a genuine bug")
 
-        monkeypatch.setattr(campaign_mod, "analyze_counter", crash)
+        monkeypatch.setattr(detector_registry, "analyze_counter", crash)
         with pytest.raises(ZeroDivisionError):
             campaign_mod.run_cell(self.SPEC)

@@ -139,6 +139,117 @@ class TestNaiveBaseline:
             RawThresholdDetector().run(ts)
 
 
+def _linear_decline(*, start=10_000.0, slope=1.0, t_end=9_500.0, dt=10.0):
+    t = np.arange(0.0, t_end, dt)
+    return TimeSeries(times=t, values=start - slope * t, name="AvailableBytes")
+
+
+class TestTrendAlarmSemantics:
+    """The trend baseline's alarm gates, on constructed series."""
+
+    def test_nonsignificant_trend_never_alarms(self):
+        # Weak drift buried in noise: Sen slope is negative and the
+        # extrapolated exhaustion is near, but Mann-Kendall cannot call
+        # the trend significant -- the detector must stay quiet rather
+        # than alarm off an insignificant fit.
+        rng = np.random.default_rng(7)
+        t = np.arange(0.0, 4000.0, 10.0)
+        v = 200.0 - 0.005 * t + rng.normal(0.0, 30.0, size=t.size)
+        ts = TimeSeries(times=t, values=v, name="AvailableBytes")
+        det = TrendExhaustionDetector(window_seconds=1000.0,
+                                      step_seconds=100.0,
+                                      horizon_seconds=1e9)
+        alarm = det.run(ts)
+        assert not alarm.fired
+        _, scores = det.decision_scores(ts)
+        assert np.all(scores == 0.0)
+
+    def test_horizon_boundary_alarm_time(self):
+        # Noise-free decline from 10000 at 1 unit/s: every window's
+        # extrapolation lands exhaustion at exactly t=10000, so the first
+        # scan step with 10000 - now <= horizon must be the alarm.
+        ts = _linear_decline()
+        det = TrendExhaustionDetector(window_seconds=1000.0,
+                                      step_seconds=100.0,
+                                      horizon_seconds=2000.0)
+        alarm = det.run(ts)
+        assert alarm.fired
+        assert alarm.alarm_time == pytest.approx(8000.0)
+        assert alarm.predicted_exhaustion == pytest.approx(10_000.0, abs=1.0)
+        # The decision score crosses 1 exactly at the alarm step.
+        times, scores = det.decision_scores(ts)
+        at = np.searchsorted(times, alarm.alarm_time)
+        assert scores[at] >= 1.0
+        assert np.all(scores[:at] < 1.0)
+
+    def test_transient_rise_stalls_extrapolation(self):
+        # A thrash/trim rebound raises AvailableBytes mid-decline; windows
+        # covering it lose the significant downward trend, so the alarm
+        # comes later than on the uninterrupted decline.
+        base = _linear_decline()
+        det = TrendExhaustionDetector(window_seconds=1000.0,
+                                      step_seconds=100.0,
+                                      horizon_seconds=2000.0)
+        clean_alarm = det.run(base)
+        v = base.values.copy()
+        t = base.times
+        rise = (t >= 7600.0) & (t < 8400.0)
+        # rebound: climb at +3 units/s through the window, then resume
+        # the decline from the higher level
+        v[rise] = v[t >= 7600.0][0] + 3.0 * (t[rise] - 7600.0)
+        after = t >= 8400.0
+        v[after] = v[rise][-1] - (t[after] - t[rise][-1])
+        bumped = TimeSeries(times=t, values=v, name="AvailableBytes")
+        bump_alarm = det.run(bumped)
+        assert clean_alarm.fired
+        assert not bump_alarm.fired or (
+            bump_alarm.alarm_time > clean_alarm.alarm_time)
+
+
+class TestNaiveAlarmSemantics:
+    """Debounce and alarm-time semantics of the raw-threshold rule."""
+
+    @staticmethod
+    def _series(values):
+        return TimeSeries(times=np.arange(float(len(values))),
+                          values=np.asarray(values, dtype=float),
+                          name="AvailableBytes")
+
+    def test_rebound_resets_debounce(self):
+        # 100-sample series, calibration = first 20 samples (median 100),
+        # limit = 50.  Two below-limit samples, a rebound, then three in a
+        # row: the alarm must come from the *second* excursion.
+        v = [100.0] * 100
+        v[60] = v[61] = 40.0          # two consecutive: not enough
+        v[70] = v[71] = v[72] = 40.0  # three consecutive: alarm at t=72
+        det = RawThresholdDetector(fraction_of_baseline=0.5,
+                                   min_consecutive=3)
+        assert det.run(self._series(v)) == pytest.approx(72.0)
+
+    def test_alarm_time_is_nth_consecutive_sample(self):
+        v = [100.0] * 80 + [10.0] * 20
+        det = RawThresholdDetector(fraction_of_baseline=0.5,
+                                   min_consecutive=5)
+        # below-limit run starts at t=80; the 5th consecutive hit is t=84
+        assert det.run(self._series(v)) == pytest.approx(84.0)
+
+    def test_decision_scores_alarm_level(self):
+        # Scores are depletion fractions: the configured alarm threshold
+        # sits at 1 - fraction_of_baseline on the score scale.
+        v = [100.0] * 80 + [10.0] * 20
+        det = RawThresholdDetector(fraction_of_baseline=0.5)
+        times, scores = det.decision_scores(self._series(v))
+        assert times[0] == pytest.approx(20.0)  # monitoring starts post-cal
+        assert scores[np.searchsorted(times, 80.0)] == pytest.approx(0.9)
+        assert np.all(scores[times < 80.0] <= 1.0 - det.fraction_of_baseline)
+
+    def test_nonpositive_baseline_rejected_for_scores(self):
+        v = [0.0] * 50 + [10.0] * 50
+        det = RawThresholdDetector()
+        with pytest.raises(AnalysisError):
+            det.decision_scores(self._series(v))
+
+
 class TestDetectorComparison:
     def test_multifractal_warns_before_naive(self, nt4_run):
         """The paper's headline comparison, on one run."""
