@@ -1,0 +1,223 @@
+"""Timeline smoke: prove campaign history recording works end to end.
+
+One chaos-injected parallel ``python -m repro campaign`` run with
+``--timeline``, ``--costs`` and ``--status-port 0``, then checks:
+
+1. **Live ring** — while units run, ``/timeline`` serves the recorder's
+   in-memory ring as ``repro.timeline/1`` records.
+2. **Artifact** — after the run the published JSONL stream validates
+   (header first, monotone times), contains at least one ``retry``
+   annotation (the chaos kills guarantee retries) and per-worker RSS
+   series in its frames.
+3. **Costs** — the ``repro.costs/1`` profile's phase wall shares sum to
+   ~1.0 and name at least one cost center.
+4. **Rebuild** — ``python -m repro timeline`` rebuilds the dashboard
+   from the timeline artifact alone (no live session, no manifests).
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/timeline_smoke.py [--max-seconds N]
+
+Exit code 0 means every check passed.  Used by the CI ``timeline-smoke``
+job and handy locally after touching the recorder or cost attribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.obs.timeline import (  # noqa: E402 - after sys.path setup
+    read_timeline,
+    timeline_summary,
+)
+
+URL_PATTERN = re.compile(r"http://127\.0\.0\.1:(\d+)/status")
+
+
+def child_env() -> dict:
+    env = dict(os.environ, PYTHONHASHSEED="0", PYTHONUNBUFFERED="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p)
+    return env
+
+
+def scrape_json(base: str, path: str) -> dict:
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def run_campaign(workdir: str, *, max_seconds: float) -> dict:
+    """Run the chaos campaign; returns paths + live /timeline scrapes."""
+    out = os.path.join(workdir, "campaign.json")
+    timeline = os.path.join(workdir, "timeline.jsonl")
+    costs = os.path.join(workdir, "costs.json")
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", "campaign",
+         "--runs", "2", "--workers", "2", "--max-seconds", str(max_seconds),
+         "--base-seed", "42", "--out", out,
+         "--retries", "2", "--chaos", "kill=1,seed=5",
+         "--timeline", timeline, "--timeline-every", "0.2",
+         "--costs", costs, "--status-port", "0"],
+        cwd=REPO_ROOT, env=child_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    port = None
+    scrapes = []
+    try:
+        deadline = time.monotonic() + 120
+        for line in proc.stdout:
+            match = URL_PATTERN.search(line)
+            if match:
+                port = int(match.group(1))
+                break
+            if time.monotonic() > deadline:  # pragma: no cover
+                raise SystemExit(
+                    "FAIL [campaign]: no status URL announced in time")
+        if port is None:
+            raise SystemExit("FAIL [campaign]: campaign exited before "
+                             "announcing its status URL")
+        base = f"http://127.0.0.1:{port}"
+        while proc.poll() is None:
+            try:
+                scrapes.append(scrape_json(base, "/timeline"))
+            except OSError:
+                break  # campaign finished and stopped its server mid-loop
+            time.sleep(0.2)
+    finally:
+        proc.stdout.read()
+        if proc.poll() is None:  # pragma: no cover - belt and braces
+            proc.kill()
+        proc.wait()
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL [campaign]: exited {proc.returncode}")
+    return {"timeline": timeline, "costs": costs, "scrapes": scrapes}
+
+
+def check_live_ring(scrapes: list) -> None:
+    live = [s for s in scrapes if s.get("schema") == "repro.timeline/1"
+            and s.get("records")]
+    if not live:
+        raise SystemExit("FAIL [live-ring]: /timeline never served the "
+                         "recorder's ring; raise --max-seconds")
+    first = live[-1]["records"][0]
+    if first.get("kind") != "header":
+        raise SystemExit(f"FAIL [live-ring]: ring starts with {first}")
+    print(f"ok [live-ring]: {len(live)} scrape(s), last with "
+          f"{len(live[-1]['records'])} record(s)")
+
+
+def check_artifact(path: str) -> None:
+    if not os.path.exists(path):
+        raise SystemExit("FAIL [artifact]: campaign left no timeline file")
+    records = read_timeline(path)
+    summary = timeline_summary(records)  # validates the stream
+    if summary["status"] != "complete":
+        raise SystemExit(
+            f"FAIL [artifact]: end status {summary['status']!r}")
+    retries = summary["annotations_by_event"].get("retry", 0)
+    if retries < 1:
+        raise SystemExit(
+            f"FAIL [artifact]: chaos kills produced no retry annotation "
+            f"(events: {summary['annotations_by_event']})")
+    worker_rss_frames = sum(
+        1 for r in records
+        if r.get("kind") == "frame"
+        and any(isinstance(w.get("rss_bytes"), (int, float))
+                for w in (r.get("resources") or {}).get("workers") or []))
+    if worker_rss_frames < 1:
+        raise SystemExit("FAIL [artifact]: no frame carries per-worker "
+                         "RSS series")
+    print(f"ok [artifact]: {summary['n_frames']} frame(s), "
+          f"{retries} retry annotation(s), {worker_rss_frames} frame(s) "
+          f"with worker RSS")
+
+
+def check_costs(path: str) -> None:
+    if not os.path.exists(path):
+        raise SystemExit("FAIL [costs]: campaign left no cost profile")
+    with open(path) as handle:
+        costs = json.load(handle)
+    if costs.get("schema") != "repro.costs/1":
+        raise SystemExit(f"FAIL [costs]: bad schema {costs.get('schema')!r}")
+    shares = [p["share"] for p in costs["phases"].values()
+              if p.get("share") is not None]
+    if not shares or not math.isclose(sum(shares), 1.0, rel_tol=1e-6):
+        raise SystemExit(
+            f"FAIL [costs]: phase shares sum to {sum(shares)!r}, not 1.0")
+    if not costs.get("top_cost_centers"):
+        raise SystemExit("FAIL [costs]: no cost centers attributed")
+    top = costs["top_cost_centers"][0]
+    print(f"ok [costs]: {len(shares)} phase(s) attributed, top center "
+          f"{top['path']} ({top['phase']})")
+
+
+def check_dashboard_rebuild(workdir: str, timeline: str) -> str:
+    dashboard = os.path.join(workdir, "timeline.html")
+    subprocess.run(
+        [sys.executable, "-m", "repro", "timeline", timeline,
+         "--dashboard", dashboard],
+        check=True, cwd=REPO_ROOT, env=child_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    with open(dashboard) as handle:
+        html = handle.read()
+    if not html.startswith("<!DOCTYPE html>"):
+        raise SystemExit("FAIL [rebuild]: dashboard is not a full page")
+    if "Campaign timeline" not in html:
+        raise SystemExit("FAIL [rebuild]: dashboard lacks timeline panels")
+    print(f"ok [rebuild]: dashboard rebuilt from the artifact alone "
+          f"({len(html)} bytes)")
+    return dashboard
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--max-seconds", type=float, default=20_000.0,
+                        help="simulated seconds per run "
+                             "(default: %(default)s)")
+    parser.add_argument("--keep-artifacts", metavar="DIR", default=None,
+                        help="copy the timeline/costs/dashboard "
+                             "artifacts here")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="timeline-smoke-") as workdir:
+        print("phase 1/4: chaos campaign with --timeline --costs "
+              "--status-port")
+        paths = run_campaign(workdir, max_seconds=args.max_seconds)
+        check_live_ring(paths["scrapes"])
+
+        print("phase 2/4: published timeline artifact validates")
+        check_artifact(paths["timeline"])
+
+        print("phase 3/4: cost profile shares sum to 1.0")
+        check_costs(paths["costs"])
+
+        print("phase 4/4: dashboard rebuilt from the timeline file alone")
+        dashboard = check_dashboard_rebuild(workdir, paths["timeline"])
+
+        if args.keep_artifacts:
+            os.makedirs(args.keep_artifacts, exist_ok=True)
+            for source in (paths["timeline"], paths["costs"], dashboard):
+                shutil.copy(source, args.keep_artifacts)
+
+    print("timeline smoke passed: history recorded, costs attributed, "
+          "dashboard rebuilt")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

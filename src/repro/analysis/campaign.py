@@ -391,6 +391,7 @@ def execute_campaign(
     chaos: Optional[ChaosSpec] = None,
     allow_partial: bool = False,
     status=None,
+    timeline=None,
 ) -> CampaignOutcome:
     """Run a campaign with crash tolerance; returns a
     :class:`CampaignOutcome`.
@@ -424,11 +425,14 @@ def execute_campaign(
     ``status`` (duck-typed, e.g. a
     :class:`~repro.obs.statusd.StatusBoard`) receives live progress —
     ``begin``/``unit_finished``/``unit_failed``/``finish`` — for the
-    ``/status`` endpoint.  It observes execution and never feeds back
-    into it, so a run with a board attached stays bit-identical to one
-    without.  The whole execution runs under a cross-process trace
-    (:func:`repro.obs.ops.trace_scope`); worker telemetry merges back
-    tagged with the campaign's trace id.
+    ``/status`` endpoint.  ``timeline`` (duck-typed, e.g. a
+    :class:`~repro.obs.timeline.TimelineRecorder`) receives
+    campaign-begin/campaign-end annotations bracketing the execution;
+    its periodic frames run on its own thread.  Both observe execution
+    and never feed back into it, so a run with either attached stays
+    bit-identical to one without.  The whole execution runs under a
+    cross-process trace (:func:`repro.obs.ops.trace_scope`); worker
+    telemetry merges back tagged with the campaign's trace id.
     """
     _validate_specs(specs)
     workers = resolve_workers(workers)
@@ -469,6 +473,11 @@ def execute_campaign(
             journal=None if journal is None else os.fspath(journal),
             resumed_last_progress_at=last_progress_at,
         )
+    if timeline is not None:
+        timeline.annotate(
+            "campaign-begin", cells=len(specs), units=len(units),
+            resumed=len(completed), pending=len(pending), workers=workers,
+            fingerprint=fingerprint)
 
     outcomes = []
     if pending:
@@ -536,6 +545,10 @@ def execute_campaign(
     )
     if status is not None:
         status.finish(outcome.status, missing_units=len(missing))
+    if timeline is not None:
+        timeline.annotate(
+            "campaign-end", status=outcome.status,
+            executed=outcome.executed_units, missing=len(missing))
     if missing:
         _obs.counter("campaign.units_missing").inc(len(missing))
         _log.warning("campaign incomplete", missing=len(missing),

@@ -84,6 +84,19 @@ Four subcommands covering the library's main workflows:
         python -m repro dashboard out.jsonl -o report.html
         python -m repro dashboard runs/ -o campaign.html
 
+``timeline``
+    Summarise, slice or export a campaign history recorded with
+    ``campaign --timeline`` / ``watch --timeline`` (schema
+    ``repro.timeline/1``): a digest of throughput/RSS/annotations, a
+    time-range slice as a new artifact, long-format CSV, timestamped
+    OpenMetrics text, or the timeline dashboard rebuilt from the
+    artifact alone (optionally with a ``repro.costs/1`` profile from
+    ``campaign --costs``)::
+
+        python -m repro timeline tl.jsonl
+        python -m repro timeline tl.jsonl --since 10 --until 60 --csv tl.csv
+        python -m repro timeline tl.jsonl --dashboard tl.html --costs costs.json
+
 Every workload subcommand additionally accepts ``--log-level
 {debug,info,warning,error,off}`` (structured log lines on stderr),
 ``--telemetry-out DIR`` (write a run manifest + event log into DIR) and
@@ -221,6 +234,22 @@ def build_parser() -> argparse.ArgumentParser:
                            "dump it to this path (atomic JSON, schema "
                            "repro.flight-record/1) on timeout-kill, "
                            "worker death or unhandled error")
+    camp.add_argument("--timeline", default=None, metavar="JSONL",
+                      help="record the campaign's history (periodic "
+                           "progress/counter/RSS frames + retry/timeout/"
+                           "death annotations) to this append-only JSONL "
+                           "artifact (schema repro.timeline/1); explore it "
+                           "with `repro timeline`")
+    camp.add_argument("--timeline-every", type=float, default=1.0,
+                      metavar="SEC",
+                      help="seconds between timeline frames "
+                           "(default: %(default)s)")
+    camp.add_argument("--costs", default=None, metavar="JSON",
+                      help="after the campaign, fold the merged span tree "
+                           "into a cross-worker cost profile (schema "
+                           "repro.costs/1; wall share per pipeline phase, "
+                           "per worker, top cost centers) and write it "
+                           "here")
 
     tel = sub.add_parser("telemetry", parents=[common],
                          help="summarise or export run manifests")
@@ -325,6 +354,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="serve live /status, /metrics and /healthz on "
                           "127.0.0.1:PORT while the watch runs "
                           "(0 = pick an ephemeral port)")
+    wat.add_argument("--timeline", default=None, metavar="JSONL",
+                     help="record the watch session's history (progress "
+                          "heartbeats + parent RSS frames) to this "
+                          "repro.timeline/1 JSONL artifact")
+    wat.add_argument("--timeline-every", type=float, default=1.0,
+                     metavar="SEC",
+                     help="seconds between timeline frames "
+                          "(default: %(default)s)")
 
     score = sub.add_parser("scoreboard", parents=[common],
                            help="rebuild the detector-tournament scoreboard "
@@ -349,6 +386,37 @@ def build_parser() -> argparse.ArgumentParser:
     dash.add_argument("-o", "--out", default="dashboard.html",
                       help="output HTML path (default: %(default)s)")
     dash.add_argument("--title", default=None, help="dashboard title")
+
+    tline = sub.add_parser("timeline", parents=[common],
+                           help="summarise, slice or export a saved "
+                                "repro.timeline/1 campaign history")
+    tline.add_argument("path",
+                       help="timeline JSONL artifact (from `campaign "
+                            "--timeline` / `watch --timeline`)")
+    tline.add_argument("--since", type=float, default=None, metavar="SEC",
+                       help="keep records with t >= SEC (recorder-relative "
+                            "seconds)")
+    tline.add_argument("--until", type=float, default=None, metavar="SEC",
+                       help="keep records with t <= SEC")
+    tline.add_argument("--slice", dest="slice_out", default=None,
+                       metavar="JSONL",
+                       help="write the selected time range as a new "
+                            "timeline artifact")
+    tline.add_argument("--csv", default=None, metavar="CSV",
+                       help="export the frames as long-format CSV "
+                            "(seq,t,wall_time,metric,value)")
+    tline.add_argument("--prom", default=None, metavar="TXT",
+                       help="export the frames as timestamped "
+                            "Prometheus/OpenMetrics text (promtool "
+                            "backfill form)")
+    tline.add_argument("--dashboard", default=None, metavar="HTML",
+                       help="render the timeline dashboard (throughput, "
+                            "per-worker RSS, ETA, annotations) from the "
+                            "artifact alone")
+    tline.add_argument("--costs", default=None, metavar="JSON",
+                       help="repro.costs/1 profile (from `campaign "
+                            "--costs`) to include in the dashboard")
+    tline.add_argument("--title", default=None, help="dashboard title")
     return parser
 
 
@@ -556,30 +624,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     workers = resolve_workers(args.workers)
 
     # Control plane (all observation, never touches campaign payloads):
-    # flight recorder, resource sampler / self-watch, HTTP status surface.
-    recorder = sampler = board = server = None
+    # flight recorder, resource sampler / self-watch, HTTP status
+    # surface, timeline recorder.
+    recorder = sampler = board = server = timeline = None
     if args.flight_record:
         from .obs.ops import FlightRecorder, install_flight_recorder
 
         recorder = install_flight_recorder(
             FlightRecorder(path=args.flight_record))
         print(f"flight recorder armed -> {args.flight_record}")
-    if args.status_port is not None or args.self_watch:
+    if args.status_port is not None or args.self_watch or args.timeline:
         from .obs.resources import ResourceSampler
         from .perf.pool import pool_worker_pids
 
         sampler = ResourceSampler(worker_pids=pool_worker_pids,
                                   self_watch=args.self_watch)
         sampler.start()
-    if args.status_port is not None:
-        from .obs.statusd import StatusBoard, StatusServer
+    if args.status_port is not None or args.timeline:
+        from .obs.statusd import StatusBoard
 
         board = StatusBoard(kind="campaign")
+    if args.timeline:
+        from .obs.timeline import TimelineRecorder
+
+        timeline = TimelineRecorder(
+            args.timeline, interval=args.timeline_every,
+            board=board, resources=sampler)
+        timeline.start()
+        print(f"timeline: recording -> {args.timeline} "
+              f"(every {args.timeline_every:g}s)")
+    if args.status_port is not None:
+        from .obs.statusd import StatusServer
+
         server = StatusServer(port=args.status_port, board=board,
-                              resources=sampler)
+                              resources=sampler, timeline=timeline)
         port = server.start()
         print(f"status: serving http://127.0.0.1:{port}/status "
-              f"(/metrics, /healthz)", flush=True)
+              f"(/metrics, /healthz, /timeline)", flush=True)
 
     suffix = f" across {workers} workers" if workers > 1 else ""
     print(f"running {n_units} simulations "
@@ -591,10 +672,13 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                 retries=args.retries, journal=args.journal,
                 resume=args.resume, chaos=chaos,
                 allow_partial=args.allow_partial, status=board,
+                timeline=timeline,
             )
         except ExecutionError as exc:
             print(f"error: {exc}", file=sys.stderr)
             args._outcome.update(campaign_status="failed")
+            if timeline is not None:
+                timeline.finalize("failed")
             return 1
         results = outcome.results
         if outcome.resumed_units:
@@ -650,12 +734,43 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   f"({watch.get('n_samples', 0)} RSS samples, "
                   f"{watch.get('alerts_fired', 0)} alert(s))")
             args._outcome.update(self_watch=watch)
+        tl_records = None
+        if timeline is not None:
+            tl_path = timeline.finalize(outcome.status)
+            tl_records = timeline.records()
+            if tl_path:
+                print(f"timeline -> {tl_path} ({timeline.n_frames} frames, "
+                      f"{timeline.n_annotations} annotations)")
+        costs = None
+        if args.costs:
+            from .obs import session as obs_session
+            from .obs.atomic import atomic_write_json
+            from .obs.costs import build_cost_profile, cost_table
+
+            sess = obs_session.current_session()
+            snapshot = (sess.profiler.snapshot()
+                        if sess.profiler is not None else None)
+            try:
+                costs = build_cost_profile(sess.spans.to_list(),
+                                           profile=snapshot)
+            except ValidationError as exc:
+                print(f"costs: {exc}", file=sys.stderr)
+            else:
+                atomic_write_json(args.costs, costs)
+                print(f"cost profile -> {args.costs}")
+                print()
+                print(render_table(
+                    ["path", "phase", "calls", "self_s", "share"],
+                    cost_table(costs), title="Top cost centers",
+                ))
+                args._outcome.update(costs_file=args.costs)
         if args.dashboard:
             from .obs.dashboard import render_campaign_dashboard, write_dashboard
 
             path = write_dashboard(
                 render_campaign_dashboard(cells=args._outcome["cells"],
-                                          scoreboard=scoreboard),
+                                          scoreboard=scoreboard,
+                                          timeline=tl_records, costs=costs),
                 args.dashboard,
             )
             print(f"dashboard -> {path}")
@@ -670,6 +785,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     finally:
         if server is not None:
             server.stop()
+        if timeline is not None:
+            timeline.finalize("error")  # no-op when already finalized
         if sampler is not None:
             sampler.stop()
         if recorder is not None:
@@ -861,6 +978,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             title=f"Benchmark trajectories under {args.out} "
                   f"({len(records)} file(s), best wall seconds)",
         ))
+        newest = max(records, key=lambda r: r["created_at"])
+        stale = sorted({c.name for c in bench.SUITE} - set(newest["cases"]))
+        if stale:
+            print(f"warning: newest trajectory "
+                  f"({newest['created_at'][:10]}, {newest['git_sha']}) "
+                  f"predates the current case set — missing "
+                  f"{', '.join(stale)}; rerun `python -m repro bench` to "
+                  f"refresh the baseline")
         return 0
 
     select = args.select.split(",") if args.select else None
@@ -930,16 +1055,32 @@ def cmd_watch(args: argparse.Namespace) -> int:
         engine = AlertEngine(rules)
         print(f"loaded {len(rules)} alert rule(s) from {args.alerts}")
 
-    board = server = None
-    if args.status_port is not None:
-        from .obs.statusd import StatusBoard, StatusServer
+    board = server = timeline = tl_sampler = None
+    if args.status_port is not None or args.timeline is not None:
+        from .obs.statusd import StatusBoard
 
         board = StatusBoard(kind="watch")
         board.begin(total_units=0, counter=args.counter)
-        server = StatusServer(port=args.status_port, board=board)
+    if args.timeline is not None:
+        from .obs.resources import ResourceSampler
+        from .obs.timeline import TimelineRecorder
+
+        tl_sampler = ResourceSampler()
+        tl_sampler.start()
+        timeline = TimelineRecorder(
+            args.timeline, interval=args.timeline_every,
+            board=board, resources=tl_sampler)
+        timeline.start()
+        print(f"timeline: recording -> {args.timeline} "
+              f"(every {args.timeline_every:g}s)")
+    if args.status_port is not None:
+        from .obs.statusd import StatusServer
+
+        server = StatusServer(port=args.status_port, board=board,
+                              timeline=timeline)
         port = server.start()
         print(f"status: serving http://127.0.0.1:{port}/status "
-              f"(/metrics, /healthz)", flush=True)
+              f"(/metrics, /healthz, /timeline)", flush=True)
 
     def status_line(event: dict) -> None:
         value = event.get("value")
@@ -964,6 +1105,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
     with contextlib.ExitStack() as stack:
         if server is not None:
             stack.callback(server.stop)
+        if timeline is not None:
+            # Safety net for early error returns: finalize() is
+            # idempotent, so the normal path's finalize below wins.
+            stack.callback(lambda: timeline.finalize("error"))
+            stack.callback(tl_sampler.stop)
         # The event stream is written atomically: it lands at --events in
         # one rename when the watch session ends, so a crash mid-watch
         # never leaves a truncated JSONL behind.
@@ -999,10 +1145,15 @@ def cmd_watch(args: argparse.Namespace) -> int:
             machine.run()
             end = watcher.finalize()
 
-    state = end["state"]
-    if board is not None:
-        board.finish(state, alarm_time=end["alarm_time"],
-                     crash_time=end["crash_time"])
+        state = end["state"]
+        if board is not None:
+            board.finish(state, alarm_time=end["alarm_time"],
+                         crash_time=end["crash_time"])
+        if timeline is not None:
+            timeline.finalize("ok")
+            print(f"timeline -> {args.timeline} "
+                  f"({timeline.n_frames} frames, "
+                  f"{timeline.n_annotations} annotations)")
     if end["crash_time"] is not None:
         crash = (f"crashed at t={end['crash_time']:,.0f}s "
                  f"({end.get('crash_reason') or 'unknown'})")
@@ -1069,6 +1220,91 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Summarise, slice or export a saved campaign timeline artifact."""
+    import json as _json
+
+    from .exceptions import ReproError
+    from .obs.timeline import (
+        read_timeline,
+        slice_timeline,
+        timeline_summary,
+        timeline_to_csv,
+    )
+    from .report import render_kv
+
+    try:
+        records = read_timeline(args.path)
+        summary = timeline_summary(records)  # validates the stream
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    view = records
+    if args.since is not None or args.until is not None:
+        view = slice_timeline(records, since=args.since, until=args.until)
+        window = (f"[{args.since if args.since is not None else 0:g}s, "
+                  f"{args.until if args.until is not None else 'end'}]")
+        n_frames = sum(1 for r in view if r.get("kind") == "frame")
+        print(f"slice {window}: {n_frames} of {summary['n_frames']} "
+              f"frame(s) selected")
+
+    costs = None
+    if args.costs:
+        try:
+            with open(args.costs, "r", encoding="utf-8") as handle:
+                costs = _json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad costs profile {args.costs}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    flat = {}
+    for key, value in summary.items():
+        if key == "annotations_by_event":
+            for event, count in sorted(value.items()):
+                flat[f"annotations.{event}"] = count
+        elif key == "final_progress":
+            for pkey, pvalue in (value or {}).items():
+                if pvalue is not None:
+                    flat[f"progress.{pkey}"] = pvalue
+        elif value is not None:
+            flat[key] = value
+    print(render_kv(flat, title=f"Timeline {args.path}"))
+
+    if args.slice_out:
+        from .obs.atomic import atomic_write
+
+        with atomic_write(args.slice_out) as handle:
+            for record in view:
+                handle.write(_json.dumps(record) + "\n")
+        print(f"slice -> {args.slice_out} ({len(view)} records)")
+    if args.csv:
+        from .obs.atomic import atomic_write_text
+
+        atomic_write_text(args.csv, timeline_to_csv(view))
+        print(f"csv -> {args.csv}")
+    if args.prom:
+        from .obs.atomic import atomic_write_text
+        from .obs.export import timeline_to_prometheus
+
+        atomic_write_text(args.prom, timeline_to_prometheus(view))
+        print(f"openmetrics -> {args.prom}")
+    if args.dashboard:
+        from .obs.dashboard import render_timeline_dashboard, write_dashboard
+
+        path = write_dashboard(
+            render_timeline_dashboard(view, costs=costs, title=args.title),
+            args.dashboard)
+        print(f"dashboard -> {path}")
+    args._outcome.update(
+        n_frames=summary["n_frames"],
+        n_annotations=summary["n_annotations"],
+        timeline_status=summary["status"],
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -1094,6 +1330,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": cmd_bench,
         "watch": cmd_watch,
         "dashboard": cmd_dashboard,
+        "timeline": cmd_timeline,
     }
     args._outcome = {}
     if getattr(args, "log_level", None):
@@ -1103,12 +1340,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      or getattr(args, "perf_memory", False))
     # A live /status surface needs a live session to scrape, so
     # --status-port implies telemetry even without a manifest directory.
+    # So do campaign/watch --timeline (frames read live counters) and
+    # campaign --costs (folds the live span tree); the artifact-reading
+    # `timeline` subcommand does not.
+    wants_history = (args.command in ("campaign", "watch")
+                     and (getattr(args, "timeline", None) is not None
+                          or getattr(args, "costs", None) is not None))
     session = (
         obs.enable_telemetry(
             profile=profiling,
             profile_memory=bool(getattr(args, "perf_memory", False)))
         if (telemetry_out or profiling
-            or getattr(args, "status_port", None) is not None) else None
+            or getattr(args, "status_port", None) is not None
+            or wants_history) else None
     )
     code: Optional[int] = None
     error: Optional[BaseException] = None

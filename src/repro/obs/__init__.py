@@ -45,8 +45,17 @@ DESIGN.md).  Seven pieces, composable but independently usable:
   workers, with a ``self_watch`` mode streaming the parent's RSS
   through an online aging monitor.
 * :mod:`repro.obs.statusd` — the live localhost HTTP surface
-  (``/status``, ``/metrics``, ``/healthz``) behind
+  (``/status``, ``/metrics``, ``/healthz``, ``/timeline``) behind
   ``campaign --status-port`` / ``watch --status-port``.
+* :mod:`repro.obs.timeline` — the control plane's historical dimension:
+  the :class:`TimelineRecorder` background sampler writing
+  ``repro.timeline/1`` JSONL artifacts (periodic frames + discrete
+  annotations) behind ``campaign --timeline`` / ``watch --timeline``,
+  plus the load/validate/slice/summarize/export helpers driving the
+  ``timeline`` subcommand.
+* :mod:`repro.obs.costs` — cross-worker cost attribution: folds the
+  merged span tree into a ``repro.costs/1`` profile (wall/CPU share per
+  pipeline phase, per worker and pooled, top cost centers).
 
 Library code is instrumented against the *current telemetry session*
 (:mod:`repro.obs.session`); the default session is disabled, so imports
@@ -117,6 +126,7 @@ from .export import (
     scoreboard_to_prometheus,
     session_to_prometheus,
     span_tree_rows,
+    timeline_to_prometheus,
     watch_events_to_prometheus,
 )
 from .alerts import (
@@ -151,12 +161,29 @@ from .resources import (
     ProcessSample,
     ResourceSampler,
     SelfWatch,
+    compact_resources,
     sample_process,
 )
 from .statusd import (
     STATUS_SCHEMA,
     StatusBoard,
     StatusServer,
+)
+from .timeline import (
+    TIMELINE_SCHEMA,
+    TimelineRecorder,
+    read_timeline,
+    slice_timeline,
+    timeline_summary,
+    timeline_to_csv,
+    validate_timeline,
+)
+from .costs import (
+    COSTS_SCHEMA,
+    build_cost_profile,
+    classify_hotpath,
+    classify_span,
+    cost_table,
 )
 
 __all__ = [
@@ -218,6 +245,7 @@ __all__ = [
     "scoreboard_to_prometheus",
     "session_to_prometheus",
     "span_tree_rows",
+    "timeline_to_prometheus",
     "watch_events_to_prometheus",
     # alert rules
     "AlertRule",
@@ -249,8 +277,23 @@ __all__ = [
     "sample_process",
     "ResourceSampler",
     "SelfWatch",
+    "compact_resources",
     # status surface
     "STATUS_SCHEMA",
     "StatusBoard",
     "StatusServer",
+    # campaign timeline
+    "TIMELINE_SCHEMA",
+    "TimelineRecorder",
+    "read_timeline",
+    "validate_timeline",
+    "slice_timeline",
+    "timeline_summary",
+    "timeline_to_csv",
+    # cost attribution
+    "COSTS_SCHEMA",
+    "build_cost_profile",
+    "classify_span",
+    "classify_hotpath",
+    "cost_table",
 ]

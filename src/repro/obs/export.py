@@ -39,6 +39,7 @@ __all__ = [
     "manifests_to_prometheus",
     "scoreboard_to_prometheus",
     "session_to_prometheus",
+    "timeline_to_prometheus",
     "watch_events_to_prometheus",
     "span_tree_rows",
     "PrometheusWriter",
@@ -142,7 +143,12 @@ def span_tree_rows(spans: Sequence[Mapping[str, object]]) -> List[List[str]]:
 # -- Prometheus / OpenMetrics --------------------------------------------------
 
 def _metric_name(name: str, prefix: str) -> str:
-    return prefix + _INVALID_NAME_CHARS.sub("_", name)
+    full = prefix + _INVALID_NAME_CHARS.sub("_", name)
+    # The exposition grammar is [a-zA-Z_:][a-zA-Z0-9_:]* — guard the
+    # first character (an empty or digit-leading prefix would break it).
+    if not full or not re.match(r"[a-zA-Z_:]", full[0]):
+        full = "_" + full
+    return full
 
 
 def _label_str(labels: Mapping[str, object]) -> str:
@@ -173,6 +179,12 @@ class PrometheusWriter:
     order; samples within a family keep insertion order.  Re-adding a
     family with a conflicting type is an error — the exposition format
     forbids it, and a silent override would corrupt scrapes.
+
+    Names are sanitized to the exposition charset at :meth:`sample`
+    time, so instrument paths like ``campaign.stress-aging@entropy.runs``
+    export as legal metric names — and two raw names that sanitize to
+    the same family merge (same type) or raise (conflicting types)
+    instead of emitting duplicate ``# TYPE`` declarations.
     """
 
     def __init__(self, *, prefix: str = "repro_") -> None:
@@ -183,10 +195,16 @@ class PrometheusWriter:
         self, name: str, mtype: str, value: object, *,
         labels: Optional[Mapping[str, object]] = None,
         suffix: str = "", help: Optional[str] = None,
+        timestamp: Optional[float] = None,
     ) -> None:
-        """Record one sample of family ``name`` (suffix for _sum/_count etc.)."""
+        """Record one sample of family ``name`` (suffix for _sum/_count etc.).
+
+        ``timestamp`` (UNIX seconds) is appended to the exposition line
+        when given — the form timeline backfills use.
+        """
         if mtype not in ("counter", "gauge", "summary", "info", "unknown"):
             raise ValidationError(f"unsupported metric type {mtype!r}")
+        name = _INVALID_NAME_CHARS.sub("_", name)
         family = self._families.get(name)
         if family is None:
             family = {"type": mtype, "help": help, "samples": []}
@@ -196,7 +214,7 @@ class PrometheusWriter:
                 f"metric family {name!r} already declared as "
                 f"{family['type']}, not {mtype}"
             )
-        family["samples"].append((suffix, dict(labels or {}), value))
+        family["samples"].append((suffix, dict(labels or {}), value, timestamp))
 
     def render(self) -> str:
         """The full OpenMetrics exposition, terminated by ``# EOF``."""
@@ -206,12 +224,14 @@ class PrometheusWriter:
             if family["help"]:
                 lines.append(f"# HELP {full} {family['help']}")
             lines.append(f"# TYPE {full} {family['type']}")
-            for suffix, labels, value in family["samples"]:
+            for suffix, labels, value, timestamp in family["samples"]:
                 sample_name = full + suffix
                 if family["type"] == "counter" and not suffix:
                     sample_name = full + "_total"
+                stamp = "" if timestamp is None else f" {float(timestamp)!r}"
                 lines.append(
-                    f"{sample_name}{_label_str(labels)} {_format_value(value)}")
+                    f"{sample_name}{_label_str(labels)} "
+                    f"{_format_value(value)}{stamp}")
         lines.append("# EOF")
         return "\n".join(lines) + "\n"
 
@@ -404,6 +424,63 @@ def scoreboard_to_prometheus(
         emit(det, {"detector": name})
     for name, cell in scoreboard.get("cells", {}).items():
         emit(cell, {"detector": cell.get("detector", "holder"), "cell": name})
+    return writer.render()
+
+
+def timeline_to_prometheus(
+    records: Sequence[Mapping], *, prefix: str = "repro_",
+) -> str:
+    """Render a ``repro.timeline/1`` stream as timestamped OpenMetrics.
+
+    Each frame's progress and resource figures become one sample per
+    frame carrying the frame's ``wall_time`` — the backfill form
+    ``promtool tsdb create-blocks-from openmetrics`` (and any TSDB
+    importer) accepts, so a finished campaign's history can be loaded
+    into a real monitoring stack after the fact.  Annotations export as
+    plain counters by event kind.
+    """
+    frames = [r for r in records if r.get("kind") == "frame"]
+    if not frames:
+        raise ValidationError("no timeline frames to export")
+    writer = PrometheusWriter(prefix=prefix)
+    progress_gauges = (
+        ("units_done", "timeline_units_done", "units completed so far"),
+        ("units_failed", "timeline_units_failed", "units permanently failed"),
+        ("units_remaining", "timeline_units_remaining", "units still queued"),
+        ("units_per_second", "timeline_units_per_second",
+         "EWMA completion throughput"),
+        ("eta_seconds", "timeline_eta_seconds", "EWMA time-to-completion"),
+    )
+    for frame in frames:
+        stamp = frame.get("wall_time")
+        progress = frame.get("progress") or {}
+        for key, name, help_text in progress_gauges:
+            value = progress.get(key)
+            if value is not None:
+                writer.sample(name, "gauge", value, timestamp=stamp,
+                              help=help_text)
+        resources = frame.get("resources") or {}
+        parent_rss = resources.get("parent_rss_bytes")
+        if parent_rss is not None:
+            writer.sample("timeline_rss_bytes", "gauge", parent_rss,
+                          labels={"process": "parent"}, timestamp=stamp,
+                          help="resident set size per process")
+        for worker in resources.get("workers") or []:
+            rss = worker.get("rss_bytes")
+            if rss is not None:
+                writer.sample(
+                    "timeline_rss_bytes", "gauge", rss,
+                    labels={"process": f"worker{worker.get('ordinal')}"},
+                    timestamp=stamp, help="resident set size per process")
+    event_counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "annotation":
+            event = str(record.get("event", "unknown"))
+            event_counts[event] = event_counts.get(event, 0) + 1
+    for event, count in sorted(event_counts.items()):
+        writer.sample("timeline_annotations", "counter", count,
+                      labels={"event": event},
+                      help="timeline annotations by event kind")
     return writer.render()
 
 

@@ -322,14 +322,50 @@ def current_flight_recorder() -> Optional[FlightRecorder]:
     return _recorder
 
 
+# Note listeners see every flight_note()/flight_dump() call whether or
+# not a recorder is installed — the timeline recorder annotates retries,
+# timeouts and worker deaths through this without owning the ring buffer.
+_note_listeners: List = []
+
+
+def add_note_listener(listener) -> None:
+    """Register ``listener(kind, fields)`` for every operational note."""
+    if listener not in _note_listeners:
+        _note_listeners.append(listener)
+
+
+def remove_note_listener(listener) -> None:
+    """Unregister a note listener (no-op when absent)."""
+    try:
+        _note_listeners.remove(listener)
+    except ValueError:
+        pass
+
+
+def _notify_listeners(kind: str, fields: Dict[str, object]) -> None:
+    for listener in list(_note_listeners):
+        try:
+            listener(kind, fields)
+        except Exception:  # noqa: BLE001 - observers must never break ops
+            pass
+
+
 def flight_note(kind: str, /, **fields) -> None:
-    """Buffer one record on the current recorder (no-op when none)."""
+    """Buffer one record on the current recorder (no-op when none).
+
+    Registered note listeners are notified regardless, so passive
+    observers (the timeline recorder) work without a flight recorder.
+    """
     if _recorder is not None:
         _recorder.note(kind, **fields)
+    if _note_listeners:
+        _notify_listeners(kind, fields)
 
 
 def flight_dump(reason: str, **extra) -> Optional[str]:
     """Dump the current recorder (no-op when none); returns the path."""
+    if _note_listeners:
+        _notify_listeners("flight-dump", {"reason": reason, **extra})
     if _recorder is None:
         return None
     return _recorder.dump(reason, extra=extra or None)

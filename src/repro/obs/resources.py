@@ -40,6 +40,7 @@ __all__ = [
     "ProcessSample",
     "read_proc_stat",
     "sample_process",
+    "compact_resources",
     "ResourceSampler",
     "SelfWatch",
     "DEFAULT_SELF_WATCH_RULES",
@@ -180,6 +181,37 @@ DEFAULT_SELF_WATCH_RULES = (
         description="campaign parent RSS growing > 100 MB/s",
     ),
 )
+
+
+def compact_resources(snapshot: Optional[dict]) -> Optional[dict]:
+    """Reduce a :meth:`ResourceSampler.sample_once` snapshot to the small
+    per-frame digest timeline frames store.
+
+    Keeps the parent's RSS/CPU, one ``{ordinal, rss_bytes, cpu_seconds}``
+    entry per worker and the self-watch state + firing count; drops
+    pids, fd counts, thread counts and sampling provenance.  None in,
+    None out.
+    """
+    if snapshot is None:
+        return None
+    parent = snapshot.get("parent") or {}
+    compact: dict = {
+        "parent_rss_bytes": parent.get("rss_bytes"),
+        "parent_cpu_seconds": parent.get("cpu_seconds"),
+        "workers": [
+            {
+                "ordinal": worker.get("ordinal"),
+                "rss_bytes": worker.get("rss_bytes"),
+                "cpu_seconds": worker.get("cpu_seconds"),
+            }
+            for worker in snapshot.get("workers", [])
+        ],
+    }
+    self_watch = snapshot.get("self_watch")
+    if self_watch is not None:
+        compact["self_watch_state"] = self_watch.get("state")
+        compact["self_watch_alerts"] = self_watch.get("alerts_fired")
+    return compact
 
 
 class SelfWatch:
@@ -370,6 +402,11 @@ class ResourceSampler:
         """Most recent :meth:`sample_once` snapshot (None before the first)."""
         with self._latest_lock:
             return self._latest
+
+    def latest_compact(self) -> Optional[dict]:
+        """:func:`compact_resources` of :meth:`latest` — the per-frame
+        digest the timeline recorder stores."""
+        return compact_resources(self.latest())
 
     # -- background thread -----------------------------------------------------
 

@@ -12,6 +12,9 @@ read-only endpoints on localhost while a run is in flight:
 * ``/metrics`` — the live telemetry session rendered through the
   existing Prometheus/OpenMetrics exporter
   (:func:`~repro.obs.export.session_to_prometheus`).
+* ``/timeline`` — the in-memory ring of the attached
+  :class:`~repro.obs.timeline.TimelineRecorder` (most recent frames and
+  annotations), when a campaign runs with ``--timeline``.
 
 Progress state lives in a :class:`StatusBoard` — a lock-protected,
 plain-data accumulator the campaign runner updates from its
@@ -226,10 +229,15 @@ class _StatusHandler(BaseHTTPRequestHandler):
         elif path == "/metrics":
             self._reply(200, server.metrics_payload(),
                         "text/plain; version=0.0.4; charset=utf-8")
+        elif path == "/timeline":
+            self._reply(200, json.dumps(server.timeline_payload(),
+                                        sort_keys=True) + "\n",
+                        "application/json")
         else:
             self._reply(404, json.dumps(
                 {"error": f"unknown path {path!r}",
-                 "paths": ["/healthz", "/status", "/metrics"]}) + "\n",
+                 "paths": ["/healthz", "/status", "/metrics",
+                           "/timeline"]}) + "\n",
                 "application/json")
 
     def _reply(self, code: int, body: str, content_type: str) -> None:
@@ -246,7 +254,7 @@ class _StatusHandler(BaseHTTPRequestHandler):
 
 class StatusServer:
     """Threaded localhost HTTP server for ``/healthz``, ``/status``,
-    ``/metrics``.
+    ``/metrics`` and ``/timeline``.
 
     ``port=0`` binds an ephemeral port (read it back from :attr:`port`
     after :meth:`start`).  The serve loop runs on one named daemon
@@ -260,12 +268,13 @@ class StatusServer:
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
                  board: Optional[StatusBoard] = None,
-                 resources=None) -> None:
+                 resources=None, timeline=None) -> None:
         if not 0 <= int(port) <= 65535:
             raise ValidationError(f"port must be in [0, 65535], got {port}")
         self.host = host
         self.board = board
         self.resources = resources
+        self.timeline = timeline
         self._requested_port = int(port)
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -286,6 +295,17 @@ class StatusServer:
         if self.resources is not None:
             payload["resources"] = self.resources.latest()
         return payload
+
+    def timeline_payload(self) -> dict:
+        """The ``/timeline`` JSON document: the recorder's ring."""
+        if self.timeline is None:
+            return {"schema": None, "records": [],
+                    "note": "no timeline recorder attached — run with "
+                            "--timeline"}
+        from .timeline import TIMELINE_SCHEMA
+
+        return {"schema": TIMELINE_SCHEMA,
+                "records": self.timeline.records()}
 
     def metrics_payload(self) -> str:
         """The ``/metrics`` OpenMetrics text for the current session.

@@ -459,7 +459,13 @@ def _resilient_map(
 
     telemetries = []
     fatal: Optional[BaseException] = None
+    pool_round = 0
     while pending and fatal is None:
+        pool_round += 1
+        # Once per pool round, not per unit — timeline/flight observers
+        # see round boundaries without any hot-path cost.
+        _ops.flight_note("round", round=pool_round, pending=len(pending),
+                         workers=min(usable, len(pending)), label=label)
         pool: Optional[ProcessPoolExecutor] = None
         futures: List[Tuple[int, object, object]] = []
         try:

@@ -525,3 +525,116 @@ class TestCampaignDashboardFlag:
             assert {"seed", "crashed", "alarm_time",
                     "lead_time"} <= set(cell["runs"][0])
         assert dash.read_text().startswith("<!DOCTYPE html>")
+
+
+@pytest.fixture(scope="module")
+def timeline_file(tmp_path_factory):
+    """A small finished repro.timeline/1 artifact with annotations."""
+    from repro.obs.timeline import TimelineRecorder
+
+    path = tmp_path_factory.mktemp("tl") / "tl.jsonl"
+    clock = {"now": 1000.0}
+
+    def tick():
+        clock["now"] += 1.0
+        return clock["now"]
+
+    recorder = TimelineRecorder(path, interval=3600.0, clock=tick,
+                                wall_clock=lambda: 5e9 + clock["now"])
+    recorder.start()
+    for _ in range(3):
+        recorder.sample_once()
+    recorder.annotate("retry", index=1, attempt=1)
+    recorder.annotate("worker-death", index=2)
+    recorder.finalize()
+    return path
+
+
+class TestTimelineCli:
+    def test_parser_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--timeline", "tl.jsonl",
+             "--timeline-every", "0.5", "--costs", "costs.json"])
+        assert args.timeline == "tl.jsonl"
+        assert args.timeline_every == 0.5
+        assert args.costs == "costs.json"
+        args = build_parser().parse_args(["watch", "--timeline", "w.jsonl"])
+        assert args.timeline == "w.jsonl"
+        assert args.timeline_every == 1.0
+        args = build_parser().parse_args(
+            ["timeline", "tl.jsonl", "--since", "10", "--until", "60",
+             "--slice", "s.jsonl", "--csv", "t.csv", "--prom", "t.prom",
+             "--dashboard", "t.html", "--costs", "c.json"])
+        assert args.path == "tl.jsonl"
+        assert args.since == 10.0 and args.until == 60.0
+        assert args.slice_out == "s.jsonl"
+
+    def test_summary_output(self, timeline_file, capsys):
+        code = main(["timeline", str(timeline_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Timeline" in out
+        assert "n_frames" in out
+        assert "annotations.retry" in out
+        assert "annotations.worker-death" in out
+
+    def test_slice_and_exports_round_trip(self, timeline_file, tmp_path,
+                                          capsys):
+        from repro.obs.timeline import read_timeline, validate_timeline
+
+        sliced = tmp_path / "slice.jsonl"
+        csv_out = tmp_path / "tl.csv"
+        prom_out = tmp_path / "tl.prom"
+        dash_out = tmp_path / "tl.html"
+        code = main(["timeline", str(timeline_file), "--since", "1",
+                     "--slice", str(sliced), "--csv", str(csv_out),
+                     "--prom", str(prom_out), "--dashboard", str(dash_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slice [" in out
+        # The sliced artifact is itself a valid timeline stream.
+        validate_timeline(read_timeline(sliced))
+        assert csv_out.read_text().startswith("seq,t,wall_time,metric,value")
+        assert "# EOF" in prom_out.read_text()
+        assert dash_out.read_text().startswith("<!DOCTYPE html>")
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = main(["timeline", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_costs_profile_errors(self, timeline_file, tmp_path,
+                                          capsys):
+        bad = tmp_path / "costs.json"
+        bad.write_text("{not json")
+        code = main(["timeline", str(timeline_file), "--costs", str(bad),
+                     "--dashboard", str(tmp_path / "t.html")])
+        assert code == 2
+        assert "bad costs profile" in capsys.readouterr().err
+
+
+class TestCampaignTimelineFlag:
+    def test_campaign_records_timeline_and_costs(self, tmp_path, capsys):
+        from repro.obs.timeline import read_timeline, timeline_summary
+
+        tl = tmp_path / "tl.jsonl"
+        costs_path = tmp_path / "costs.json"
+        code = main(["campaign", "--scenario", "stress", "--runs", "1",
+                     "--max-seconds", "12000",
+                     "--timeline", str(tl), "--timeline-every", "0.1",
+                     "--costs", str(costs_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline: recording" in out
+        records = read_timeline(tl)
+        summary = timeline_summary(records)  # validates the stream
+        assert summary["status"] == "complete"
+        events = {r.get("event") for r in records
+                  if r.get("kind") == "annotation"}
+        assert {"campaign-begin", "campaign-end"} <= events
+        costs = json.loads(costs_path.read_text())
+        assert costs["schema"] == "repro.costs/1"
+        shares = [p["share"] for p in costs["phases"].values()
+                  if p["share"] is not None]
+        assert sum(shares) == pytest.approx(1.0)
+        assert "Cost attribution" in out or "cost" in out.lower()

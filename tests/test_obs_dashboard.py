@@ -177,3 +177,200 @@ class TestWriteDashboard:
     def test_rejects_non_dashboard_text(self, tmp_path):
         with pytest.raises(ValidationError, match="doctype"):
             write_dashboard("<p>hello</p>", tmp_path / "x.html")
+
+
+class TestGoldenBytes:
+    """Byte-identity freeze: extracting the shared chart helpers into
+    repro.obs._chart and adding timeline/cost panels must not change a
+    single byte of existing dashboards.  These hashes were taken from
+    the pre-refactor renderer on fixed synthetic inputs."""
+
+    RUN_SHA = ("6918bfa32b18a953b68d0d37c108056371b276d0"
+               "7578e35c9055c95919ff4cba")
+    CAMPAIGN_SHA = ("2fe933a2d2e274f1347cab2577687218aefa095b"
+                    "8d6a8624b3a04ccbaedb4de9")
+
+    def _golden_events(self):
+        monitor = OnlineAgingMonitor(chunk_size=128, history=512,
+                                     indicator_window=256, n_warmup=1,
+                                     n_calibration=10)
+        watcher = LiveWatcher(monitor, writer=EventStreamWriter(keep=True),
+                              counter="x")
+        watcher.write_header({"type": "golden", "seed": 0})
+        for i in range(600):
+            watcher.feed(float(i), 100.0 + (i % 7) - (i % 13))
+        watcher.finalize()
+        return watcher.writer.events
+
+    def test_run_dashboard_bytes_frozen(self):
+        import hashlib
+
+        html = render_run_dashboard(self._golden_events(),
+                                    title="golden-run")
+        digest = hashlib.sha256(html.encode("utf-8")).hexdigest()
+        assert digest == self.RUN_SHA
+
+    def test_campaign_dashboard_bytes_frozen(self):
+        import hashlib
+
+        html = render_campaign_dashboard(cells=cells_fixture(),
+                                         title="golden-campaign")
+        digest = hashlib.sha256(html.encode("utf-8")).hexdigest()
+        assert digest == self.CAMPAIGN_SHA
+
+    def test_absent_history_changes_nothing(self):
+        base = render_campaign_dashboard(cells=cells_fixture())
+        again = render_campaign_dashboard(cells=cells_fixture(),
+                                          timeline=None, costs=None)
+        assert again == base
+
+
+class TestMultiLineChart:
+    def test_series_polylines_and_legend(self):
+        from repro.obs._chart import multi_line_chart
+
+        html = multi_line_chart("rss", "Resident set size", [
+            ("parent", [0.0, 1.0, 2.0], [100.0, 110.0, 120.0]),
+            ("worker 0", [0.0, 1.0, 2.0], [50.0, 55.0, 60.0]),
+        ])
+        assert html.count("<polyline") == 2
+        assert 'class="line s1"' in html
+        assert 'class="line s3"' in html
+        assert "parent" in html and "worker 0" in html
+        assert html.count('class="swatch') == 2
+        assert 'data-chart="rss"' in html
+
+    def test_empty_series_render_placeholder(self):
+        from repro.obs._chart import multi_line_chart
+
+        html = multi_line_chart("rss", "Resident set size", [
+            ("parent", [], []),
+        ])
+        assert "no data" in html
+        assert "<svg" not in html
+
+    def test_markers_render_dots_and_event_lines(self):
+        from repro.obs._chart import _Marker, multi_line_chart
+
+        html = multi_line_chart("x", "t", [
+            ("a", [0.0, 10.0], [1.0, 2.0]),
+        ], markers=[
+            _Marker(2.0, "retry", "warning", dot=True, title="retry #1"),
+            _Marker(5.0, "died", "crash", title="worker death"),
+        ])
+        assert '<circle class="mark warning"' in html
+        assert '<line class="event crash"' in html
+        assert "retry #1" in html
+
+    def test_label_escaped(self):
+        from repro.obs._chart import multi_line_chart
+
+        html = multi_line_chart("x", 'a<b>"t"', [
+            ("<s>", [0.0], [1.0]),
+        ])
+        assert "<b>" not in html
+        assert "<s>" not in html
+
+
+def timeline_records():
+    """A hand-built valid repro.timeline/1 stream with annotations."""
+    from repro.obs.timeline import TIMELINE_SCHEMA
+
+    def frame(seq, t, done, rate, eta, parent_rss, worker_rss):
+        return {
+            "kind": "frame", "seq": seq, "t": t, "wall_time": 5e9 + t,
+            "counters": {"campaign.runs_completed": done}, "deltas": {},
+            "progress": {
+                "state": "running", "total_units": 4, "units_done": done,
+                "units_failed": 0, "units_remaining": 4 - done,
+                "units_per_second": rate, "eta_seconds": eta,
+                "last_progress_at": 5e9 + t,
+            },
+            "resources": {
+                "parent_rss_bytes": parent_rss, "parent_cpu_seconds": t,
+                "workers": [{"ordinal": 0, "rss_bytes": worker_rss,
+                             "cpu_seconds": t / 2}],
+            },
+        }
+
+    return [
+        {"kind": "header", "schema": TIMELINE_SCHEMA, "t": 0.0,
+         "wall_time": 5e9, "pid": 1, "interval": 1.0},
+        frame(0, 1.0, 1, 1.0, 3.0, 1000, 400),
+        {"kind": "annotation", "t": 1.5, "wall_time": 5e9 + 1.5,
+         "event": "retry", "index": 2, "attempt": 1},
+        frame(1, 2.0, 2, 1.2, 1.7, 1100, 600),
+        {"kind": "annotation", "t": 2.5, "wall_time": 5e9 + 2.5,
+         "event": "worker-death", "index": 3},
+        frame(2, 3.0, 4, 0.9, 0.0, 900, 500),
+        {"kind": "end", "t": 3.5, "wall_time": 5e9 + 3.5, "status": "ok",
+         "frames": 3, "annotations": 2},
+    ]
+
+
+def costs_fixture():
+    from repro.obs.costs import build_cost_profile
+
+    spans = [
+        {"path": "campaign-pool", "duration": 10.0, "attrs": {}},
+        {"path": "campaign-pool/campaign-worker/cell-run/machine-run",
+         "duration": 5.0, "attrs": {"worker_ordinal": 0}},
+        {"path": "campaign-pool/campaign-worker/cell-run/holder",
+         "duration": 3.0, "attrs": {"worker_ordinal": 0}},
+    ]
+    return build_cost_profile(spans)
+
+
+class TestTimelineDashboard:
+    def test_renders_self_contained_page(self):
+        from repro.obs.dashboard import render_timeline_dashboard
+
+        html = render_timeline_dashboard(timeline_records())
+        assert html.startswith("<!DOCTYPE html>")
+        assert not re.search(r'(?:href|src)\s*=\s*"(?:https?:)?//', html)
+        assert "Campaign timeline" in html
+        for chart_id in ("tl-throughput", "tl-rss", "tl-eta"):
+            assert f'data-chart="{chart_id}"' in html
+        # Per-worker RSS legend and the disruption tile.
+        assert "worker 0" in html
+        assert "Disruptions" in html
+
+    def test_annotations_become_markers(self):
+        from repro.obs.dashboard import render_timeline_dashboard
+
+        html = render_timeline_dashboard(timeline_records())
+        # retry -> baseline dot, worker-death -> full-height event line.
+        assert '<circle class="mark warning"' in html
+        assert '<line class="event crash"' in html
+
+    def test_costs_panel_included_when_given(self):
+        from repro.obs.dashboard import render_timeline_dashboard
+
+        base = render_timeline_dashboard(timeline_records())
+        html = render_timeline_dashboard(timeline_records(),
+                                         costs=costs_fixture())
+        assert "Cost attribution" not in base
+        assert "Cost attribution" in html
+        assert "pool-overhead" in html
+        assert "cwt-holder" in html
+
+    def test_rejects_invalid_stream(self):
+        from repro.obs.dashboard import render_timeline_dashboard
+
+        with pytest.raises(ValidationError):
+            render_timeline_dashboard([{"kind": "frame", "seq": 0,
+                                        "t": 0.0}])
+
+    def test_campaign_dashboard_gains_history_section(self):
+        html = render_campaign_dashboard(cells=cells_fixture(),
+                                         timeline=timeline_records(),
+                                         costs=costs_fixture())
+        assert "stress-aging" in html  # cells still there
+        assert "Campaign timeline" in html
+        assert "Cost attribution" in html
+
+    def test_costs_alone_render_without_timeline(self):
+        html = render_campaign_dashboard(cells=cells_fixture(),
+                                         costs=costs_fixture())
+        assert "Cost attribution" in html
+        assert "Campaign timeline" not in html

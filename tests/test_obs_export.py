@@ -234,3 +234,129 @@ class TestManifestExposition:
         assert "repro_sim_latency" in parsed["families"]
         assert "repro_profile_calls" in parsed["families"]
         assert "repro_process_peak_rss_bytes" in parsed["families"]
+
+
+_LEGAL_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+
+
+class TestNameSanitisation:
+    """Regression tests: grid-campaign instruments are named after
+    ``<cell>@<detector>`` pairs; every exported name must still match
+    the exposition grammar ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+
+    def test_cell_at_detector_names_export_legal(self):
+        session = obs.TelemetrySession()
+        session.metrics.counter(
+            "campaign.stress-aging@entropy.runs_completed").inc(2)
+        session.metrics.counter(
+            "scoreboard.w2k@page-faults+cusum.alarms").inc()
+        session.metrics.gauge("resources.worker.0.rss_bytes").set(5.0)
+        text = session_to_prometheus(session)
+        parsed = parse_openmetrics(text)  # already strict about names
+        for name in parsed["families"]:
+            assert _LEGAL_NAME_RE.fullmatch(name), name
+        for name, _, _ in parsed["samples"]:
+            assert _LEGAL_NAME_RE.fullmatch(name), name
+        assert "repro_campaign_stress_aging_entropy_runs_completed" in (
+            parsed["families"])
+        counts = {
+            name: value for name, _, value in parsed["samples"]
+            if name.startswith("repro_scoreboard_")
+        }
+        assert counts == {
+            "repro_scoreboard_w2k_page_faults_cusum_alarms_total": 1.0}
+
+    def test_colliding_raw_names_merge_into_one_family(self):
+        # "cell@a" and "cell.a" both sanitize to cell_a: one # TYPE
+        # declaration, both samples kept.
+        w = PrometheusWriter()
+        w.sample("cell@a", "counter", 1)
+        w.sample("cell.a", "counter", 2)
+        text = w.render()
+        assert text.count("# TYPE repro_cell_a counter") == 1
+        assert len(parse_openmetrics(text)["samples"]) == 2
+
+    def test_colliding_raw_names_with_conflicting_types_raise(self):
+        w = PrometheusWriter()
+        w.sample("cell@a", "counter", 1)
+        with pytest.raises(ValidationError, match="already declared"):
+            w.sample("cell.a", "gauge", 2)
+
+    def test_leading_digit_guarded(self):
+        w = PrometheusWriter(prefix="")
+        w.sample("0weird", "gauge", 1)
+        assert "# TYPE _0weird gauge" in w.render()
+
+    def test_timestamp_appended_to_sample_line(self):
+        w = PrometheusWriter()
+        w.sample("x", "gauge", 1, timestamp=123.5)
+        assert "repro_x 1.0 123.5" in w.render()
+
+
+# Timestamped exposition lines: "name{labels} value timestamp".
+_STAMPED_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<stamp>[^ ]+))?$"
+)
+
+
+class TestTimelineExposition:
+    def _records(self):
+        def frame(seq, t, done, parent_rss, worker_rss):
+            return {
+                "kind": "frame", "seq": seq, "t": t, "wall_time": 5e9 + t,
+                "counters": {}, "deltas": {},
+                "progress": {"units_done": done, "units_failed": 0,
+                             "units_remaining": 4 - done,
+                             "units_per_second": 1.0, "eta_seconds": 4 - done},
+                "resources": {"parent_rss_bytes": parent_rss,
+                              "workers": [{"ordinal": 0,
+                                           "rss_bytes": worker_rss}]},
+            }
+        from repro.obs.timeline import TIMELINE_SCHEMA
+        return [
+            {"kind": "header", "schema": TIMELINE_SCHEMA, "t": 0.0},
+            frame(0, 1.0, 1, 1000, 400),
+            {"kind": "annotation", "t": 1.5, "event": "retry"},
+            {"kind": "annotation", "t": 1.7, "event": "retry"},
+            {"kind": "annotation", "t": 2.5, "event": "worker-death"},
+            frame(1, 2.0, 2, 1100, 600),
+            {"kind": "end", "t": 3.0, "status": "ok"},
+        ]
+
+    def test_frames_export_timestamped_gauges(self):
+        from repro.obs.export import timeline_to_prometheus
+
+        text = timeline_to_prometheus(self._records())
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        samples = []
+        for line in lines:
+            m = _STAMPED_RE.match(line)
+            assert m, f"malformed sample line: {line!r}"
+            assert _LEGAL_NAME_RE.fullmatch(m.group("name"))
+            samples.append(m)
+        done = [m for m in samples
+                if m.group("name") == "repro_timeline_units_done"]
+        assert [m.group("value") for m in done] == ["1.0", "2.0"]
+        assert [m.group("stamp") for m in done] == [
+            repr(5e9 + 1.0), repr(5e9 + 2.0)]
+        rss = [m for m in samples
+               if m.group("name") == "repro_timeline_rss_bytes"]
+        assert {m.group("labels") for m in rss} == {
+            'process="parent"', 'process="worker0"'}
+
+    def test_annotations_export_as_event_counters(self):
+        from repro.obs.export import timeline_to_prometheus
+
+        text = timeline_to_prometheus(self._records())
+        assert ('repro_timeline_annotations_total{event="retry"} 2'
+                in text)
+        assert ('repro_timeline_annotations_total{event="worker-death"} 1'
+                in text)
+
+    def test_no_frames_rejected(self):
+        from repro.obs.export import timeline_to_prometheus
+
+        with pytest.raises(ValidationError, match="no timeline frames"):
+            timeline_to_prometheus([{"kind": "header"}])

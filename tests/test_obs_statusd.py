@@ -114,6 +114,66 @@ class TestStatusBoard:
         assert snap["workers"] == 2
         assert snap["missing_units"] == 0
 
+    # -- ETA edge cases: never negative, never NaN ------------------------------
+
+    @staticmethod
+    def _assert_sane_eta(snap):
+        eta = snap["eta_seconds"]
+        rate = snap["units_per_second"]
+        for value in (eta, rate):
+            if value is not None:
+                assert value == value, "ETA fields must never be NaN"
+                assert value >= 0.0, "ETA fields must never be negative"
+
+    def test_zero_duration_units(self):
+        # Every unit finishes at the same clock instant (cache-hot
+        # replays): the EWMA interval is 0, the ETA 0 or None — not NaN.
+        clock = FakeClock()
+        board = StatusBoard(clock=clock)
+        board.begin(total_units=4)
+        for _ in range(3):
+            board.unit_finished()
+        snap = board.snapshot()
+        self._assert_sane_eta(snap)
+        assert snap["eta_seconds"] in (None, 0.0)
+        assert snap["units_remaining"] == 1
+
+    def test_single_unit_campaign(self):
+        clock = FakeClock()
+        board = StatusBoard(clock=clock)
+        board.begin(total_units=1)
+        self._assert_sane_eta(board.snapshot())
+        clock.tick(3.0)
+        board.unit_finished()
+        snap = board.snapshot()
+        self._assert_sane_eta(snap)
+        assert snap["eta_seconds"] is None  # nothing remaining
+        assert snap["units_remaining"] == 0
+
+    def test_resume_with_everything_done(self):
+        # Resuming a finished campaign: zero pending units, no
+        # unit_finished calls ever arrive.
+        board = StatusBoard()
+        board.begin(total_units=4, resumed=4)
+        snap = board.snapshot()
+        self._assert_sane_eta(snap)
+        assert snap["eta_seconds"] is None
+        assert snap["units_remaining"] == 0
+
+    def test_eta_sane_under_clock_regression(self):
+        # A clock stepping backwards between finishes must not produce a
+        # negative interval, ETA or rate.
+        clock = FakeClock()
+        board = StatusBoard(ewma_alpha=1.0, clock=clock)
+        board.begin(total_units=3)
+        clock.tick(5.0)
+        board.unit_finished()
+        clock.tick(-10.0)
+        board.unit_finished()
+        snap = board.snapshot()
+        self._assert_sane_eta(snap)
+        assert snap["eta_seconds"] == pytest.approx(0.0)
+
 
 class TestStatusServer:
     def test_port_validated(self):
