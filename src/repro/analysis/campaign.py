@@ -20,6 +20,7 @@ import numpy as np
 from .._validation import check_choice, check_positive, check_positive_int
 from ..core.detectors import DetectorConfig
 from ..exceptions import AnalysisError, ExecutionError, ValidationError
+from ..memsim.machine import FLEET_ENGINES
 from ..memsim.scenarios import SCENARIO_NAMES, build_scenario
 from ..obs import get_logger
 from ..obs import ops as _ops
@@ -69,6 +70,13 @@ class ExperimentSpec:
         identical with it on or off.
     max_run_seconds:
         Simulation budget per run.
+    engine:
+        Simulation core for the cell's runs: ``"object"`` (one
+        :class:`~repro.memsim.machine.Machine` per run through the
+        discrete-event kernel) or ``"vector"`` (the whole cell advanced
+        per tick by :class:`~repro.memsim.fleet_vec.VectorFleet`; the
+        fleet is presimulated once and workers only analyse).  Detector
+        plumbing, journaling and aggregation are engine-agnostic.
     """
 
     name: str
@@ -83,6 +91,7 @@ class ExperimentSpec:
     detector_name: str = "holder"
     collect_scores: bool = True
     max_run_seconds: float = 80_000.0
+    engine: str = "object"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -94,6 +103,7 @@ class ExperimentSpec:
         check_choice(self.detector_name, name="detector_name",
                      choices=detector_names())
         check_positive(self.max_run_seconds, name="max_run_seconds")
+        check_choice(self.engine, name="engine", choices=FLEET_ENGINES)
         if self.fault_factor < 0:
             raise ValidationError("fault_factor must be non-negative")
 
@@ -153,19 +163,30 @@ class CellResult:
         return float(np.median(leads)) if leads else float("nan")
 
 
-def _execute_run(spec: ExperimentSpec, run_index: int) -> RunRecord:
+def _execute_run(spec: ExperimentSpec, run_index: int,
+                 presimulated=None) -> RunRecord:
     """Simulate and analyse one seeded run of a cell.
 
     The single source of truth for per-run work: both the sequential
     loop and the process pool call exactly this, with the seed derived
     deterministically from (``base_seed``, ``run_index``) — which is
     what makes ``workers=N`` output bit-identical to ``workers=1``.
+
+    Vector-engine cells pass the host's presimulated
+    :class:`~repro.memsim.machine.RunResult` as ``presimulated`` (the
+    fleet was advanced as one batch in the parent); the unit then only
+    analyses.  Counter-based per-host seeding makes the attached result
+    identical however the pending set was batched, so journal resume
+    and retries stay bit-exact.
     """
     seed = spec.base_seed + run_index
     with _obs.span("cell-run", cell=spec.name, run_index=run_index, seed=seed,
                    detector=spec.detector_name):
-        machine = _build(spec, seed)
-        result = machine.run()
+        if presimulated is not None:
+            result = presimulated
+        else:
+            machine = _build(spec, seed)
+            result = machine.run()
 
         alarm_time: Optional[float] = None
         peak_healthy: Optional[float] = None
@@ -236,16 +257,61 @@ def _aggregate_cell(spec: ExperimentSpec, records: List[RunRecord]) -> CellResul
 
 
 def _campaign_unit(unit) -> RunRecord:
-    """Pool entry point: one (spec, run_index) work item."""
-    spec, run_index = unit
-    return _execute_run(spec, run_index)
+    """Pool entry point: one (spec, run_index[, presimulated]) item."""
+    spec, run_index, *rest = unit
+    return _execute_run(spec, run_index,
+                        presimulated=rest[0] if rest else None)
+
+
+def _presimulate_cell(spec: ExperimentSpec,
+                      run_indices: Sequence[int]) -> Dict[int, "RunResult"]:
+    """Advance one vector-engine cell's pending hosts as a single fleet.
+
+    Returns run_index -> RunResult.  Because every variate is a pure
+    function of ``(base_seed + run_index, stream, tick)``, the subset of
+    hosts simulated together is irrelevant: resuming a half-journaled
+    campaign presimulates only the missing hosts yet reproduces exactly
+    what a full-fleet run would have given them.
+    """
+    from ..memsim.fleet_vec import VectorFleet
+    from ..memsim.scenarios import scenario_batch_job, scenario_config
+
+    seeds = [spec.base_seed + i for i in run_indices]
+    if spec.fault_factor == 0.0:
+        from ..memsim.config import FaultConfig
+
+        config = scenario_config(
+            spec.scenario, seed=spec.base_seed, profile=spec.profile,
+            max_run_seconds=spec.max_run_seconds,
+            config_overrides={"faults": FaultConfig(
+                heap_leak_fraction=0.0, pool_leak_rate=0.0,
+                fragmentation_rate=0.0,
+            )},
+        )
+    else:
+        config = scenario_config(
+            spec.scenario, seed=spec.base_seed, profile=spec.profile,
+            max_run_seconds=spec.max_run_seconds,
+            fault_factor=spec.fault_factor,
+        )
+    with _obs.span("cell-presimulate", cell=spec.name, hosts=len(seeds),
+                   engine=spec.engine):
+        fleet = VectorFleet(config, seeds=seeds,
+                            batch_job=scenario_batch_job(spec.scenario))
+        results = fleet.run()
+    return dict(zip(run_indices, results))
 
 
 def run_cell(spec: ExperimentSpec) -> CellResult:
     """Execute one cell: fleet, analysis, aggregation."""
     _log.info("cell starting", cell=spec.name, scenario=spec.scenario,
-              profile=spec.profile, n_runs=spec.n_runs)
-    records = [_execute_run(spec, i) for i in range(spec.n_runs)]
+              profile=spec.profile, n_runs=spec.n_runs, engine=spec.engine)
+    if spec.engine == "vector":
+        presim = _presimulate_cell(spec, range(spec.n_runs))
+        records = [_execute_run(spec, i, presimulated=presim[i])
+                   for i in range(spec.n_runs)]
+    else:
+        records = [_execute_run(spec, i) for i in range(spec.n_runs)]
     return _aggregate_cell(spec, records)
 
 
@@ -483,6 +549,25 @@ def execute_campaign(
     if pending:
         pending_units = [unit for unit, _ in pending]
         pending_keys = [key for _, key in pending]
+        # Vector-engine cells: advance each cell's pending hosts as one
+        # batched fleet here in the parent, then attach the per-host
+        # result to its unit — workers only analyse.  Counter-based
+        # seeding makes each host's result independent of which other
+        # hosts were batched with it, so resume/retry stay bit-exact.
+        if any(spec.engine == "vector" for spec in specs):
+            by_cell: Dict[str, List[int]] = {}
+            for spec, i in pending_units:
+                if spec.engine == "vector":
+                    by_cell.setdefault(spec.name, []).append(i)
+            presim = {
+                spec.name: _presimulate_cell(spec, by_cell[spec.name])
+                for spec in specs if spec.name in by_cell
+            }
+            pending_units = [
+                (spec, i, presim[spec.name][i]) if spec.name in presim
+                else (spec, i)
+                for spec, i in pending_units
+            ]
         journal_handle = (CampaignJournal(journal, fingerprint=fingerprint)
                           if journal is not None else None)
 

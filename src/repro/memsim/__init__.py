@@ -34,8 +34,21 @@ from .memory import MemoryManager, AllocationResult
 from .workloads import OnOffSource, SessionWorkload, BatchWorkload
 from .faults import LeakProcess, FragmentationFault
 from .sampler import CounterSampler, COUNTER_NAMES
-from .machine import Machine, RunResult, run_fleet
-from .scenarios import build_scenario, SCENARIO_NAMES
+from .machine import Machine, RunResult, run_fleet, FLEET_ENGINES
+from .fleet_vec import VectorFleet, run_fleet_vector, build_scenario_fleet
+from .equivalence import (
+    EquivalenceReport,
+    check_batch_decomposition,
+    check_cross_engine,
+    fleet_equivalence_report,
+    ks_2samp,
+)
+from .scenarios import (
+    build_scenario,
+    scenario_config,
+    scenario_batch_job,
+    SCENARIO_NAMES,
+)
 from .rejuvenation import (
     PeriodicRejuvenator,
     ThresholdRejuvenator,
@@ -60,6 +73,17 @@ __all__ = [
     "Machine",
     "RunResult",
     "run_fleet",
+    "FLEET_ENGINES",
+    "VectorFleet",
+    "run_fleet_vector",
+    "build_scenario_fleet",
+    "EquivalenceReport",
+    "check_batch_decomposition",
+    "check_cross_engine",
+    "fleet_equivalence_report",
+    "ks_2samp",
+    "scenario_config",
+    "scenario_batch_job",
     "PeriodicRejuvenator",
     "ThresholdRejuvenator",
     "PredictiveRejuvenator",

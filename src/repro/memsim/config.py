@@ -195,6 +195,16 @@ class MachineConfig:
                        low=0.0, high=0.2)
         check_positive(self.max_run_seconds, name="max_run_seconds")
 
+    def with_seed(self, seed: int) -> "MachineConfig":
+        """A copy of this configuration with only the seed replaced.
+
+        The canonical way to derive per-host fleet configs: unlike a
+        ``MachineConfig(**{**cfg.__dict__, ...})`` rebuild it survives
+        ``slots=True`` dataclasses (no ``__dict__``), keeps working if
+        fields gain ``init=False``, and re-runs validation exactly once.
+        """
+        return replace(self, seed=seed)
+
     # -- named profiles ------------------------------------------------------
 
     @classmethod

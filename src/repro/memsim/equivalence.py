@@ -1,0 +1,180 @@
+"""FleetEquivalence: the vector engine's oracle-agreement layer.
+
+The object-model :class:`~repro.memsim.machine.Machine` is the oracle;
+the vector engine must agree with it at two levels:
+
+* **exact** — within the vector engine, host ``i`` of a batch is
+  bit-identical to host ``i`` simulated alone (and to any worker
+  sharding): :func:`check_batch_decomposition`.
+* **statistical** — across engines, fleets of the same config produce
+  crash-time samples from the same distribution (two-sample KS) with the
+  same crash reasons and identical sample grids:
+  :func:`fleet_equivalence_report` / :func:`check_cross_engine`.
+
+The KS machinery is self-contained (no scipy in the dependency set):
+:func:`ks_2samp` computes the two-sample statistic and the asymptotic
+Kolmogorov p-value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from .config import MachineConfig
+from .fleet_vec import VectorFleet
+from .machine import RunResult, run_fleet
+
+__all__ = [
+    "ks_2samp",
+    "check_batch_decomposition",
+    "fleet_equivalence_report",
+    "check_cross_engine",
+    "EquivalenceReport",
+]
+
+
+def ks_2samp(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sample Kolmogorov–Smirnov test.
+
+    Returns ``(D, p)`` where ``D`` is the sup-distance between empirical
+    CDFs and ``p`` the asymptotic two-sided p-value
+    ``Q(sqrt(nm/(n+m)) * D)`` with Kolmogorov's series
+    ``Q(x) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 x^2)``.
+    """
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    n, m = a.size, b.size
+    if n == 0 or m == 0:
+        raise AnalysisError("ks_2samp requires non-empty samples")
+    joint = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, joint, side="right") / n
+    cdf_b = np.searchsorted(b, joint, side="right") / m
+    d = float(np.max(np.abs(cdf_a - cdf_b)))
+    en = np.sqrt(n * m / (n + m))
+    x = (en + 0.12 + 0.11 / en) * d  # Stephens' small-sample correction
+    if x < 1e-3:
+        return d, 1.0
+    terms = np.arange(1, 101)
+    p = 2.0 * np.sum((-1.0) ** (terms - 1) * np.exp(-2.0 * (terms * x) ** 2))
+    return d, float(min(max(p, 0.0), 1.0))
+
+
+def check_batch_decomposition(
+    config: MachineConfig,
+    n_hosts: int,
+    *,
+    crash_grace: float = 120.0,
+    dt: float = 1.0,
+) -> None:
+    """Assert host ``i`` of an ``n_hosts`` batch is bit-identical to host
+    ``i`` simulated alone.  Raises :class:`AnalysisError` on mismatch."""
+    batch = VectorFleet(config, n_hosts, crash_grace=crash_grace, dt=dt).run()
+    for i in range(n_hosts):
+        solo = VectorFleet(
+            config, seeds=[config.seed + i], crash_grace=crash_grace, dt=dt,
+        ).run()[0]
+        ref = batch[i]
+        if (solo.crashed != ref.crashed or solo.crash_time != ref.crash_time
+                or solo.crash_reason != ref.crash_reason):
+            raise AnalysisError(
+                f"host {i}: batch crash ({ref.crash_time}, {ref.crash_reason}) "
+                f"!= solo crash ({solo.crash_time}, {solo.crash_reason})")
+        if sorted(solo.bundle.names) != sorted(ref.bundle.names):
+            raise AnalysisError(f"host {i}: counter sets differ")
+        for name in ref.bundle.names:
+            rs, ss = ref.bundle[name], solo.bundle[name]
+            if not (np.array_equal(rs.times, ss.times)
+                    and np.array_equal(rs.values, ss.values)):
+                raise AnalysisError(
+                    f"host {i}: counter {name!r} not bit-identical between "
+                    f"batch and solo simulation")
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Cross-engine agreement summary for one configuration."""
+
+    n_hosts: int
+    object_crashes: int
+    vector_crashes: int
+    object_crash_times: Tuple[float, ...]
+    vector_crash_times: Tuple[float, ...]
+    ks_statistic: Optional[float]
+    ks_pvalue: Optional[float]
+    object_reasons: Tuple[str, ...]
+    vector_reasons: Tuple[str, ...]
+
+    @property
+    def crash_fraction_gap(self) -> float:
+        return abs(self.object_crashes - self.vector_crashes) / self.n_hosts
+
+
+def _crash_profile(results: List[RunResult]) -> Tuple[List[float], List[str]]:
+    times = [float(r.crash_time) for r in results if r.crashed]
+    reasons = sorted({r.crash_reason for r in results if r.crashed})
+    return times, reasons
+
+
+def fleet_equivalence_report(
+    config: MachineConfig,
+    n_hosts: int,
+    *,
+    crash_grace: float = 120.0,
+    object_results: Optional[List[RunResult]] = None,
+) -> EquivalenceReport:
+    """Run both engines on the same config and compare crash behaviour.
+
+    ``object_results`` lets callers reuse a precomputed (expensive)
+    object-engine reference fleet.
+    """
+    if object_results is None:
+        object_results = run_fleet(config, n_hosts, crash_grace=crash_grace)
+    vector_results = VectorFleet(config, n_hosts, crash_grace=crash_grace).run()
+    obj_t, obj_r = _crash_profile(object_results)
+    vec_t, vec_r = _crash_profile(vector_results)
+    if obj_t and vec_t:
+        d, p = ks_2samp(obj_t, vec_t)
+    else:
+        d, p = None, None
+    return EquivalenceReport(
+        n_hosts=n_hosts,
+        object_crashes=len(obj_t),
+        vector_crashes=len(vec_t),
+        object_crash_times=tuple(sorted(obj_t)),
+        vector_crash_times=tuple(sorted(vec_t)),
+        ks_statistic=d,
+        ks_pvalue=p,
+        object_reasons=tuple(obj_r),
+        vector_reasons=tuple(vec_r),
+    )
+
+
+def check_cross_engine(
+    report: EquivalenceReport,
+    *,
+    min_pvalue: float = 0.01,
+    max_crash_gap: float = 0.25,
+) -> None:
+    """Assert an :class:`EquivalenceReport` shows engine agreement.
+
+    Raises :class:`AnalysisError` when the crash-time KS test rejects at
+    ``min_pvalue``, when crash fractions diverge by more than
+    ``max_crash_gap``, or when the crash-reason vocabularies differ.
+    """
+    if report.crash_fraction_gap > max_crash_gap:
+        raise AnalysisError(
+            f"crash fractions diverge: object {report.object_crashes}"
+            f"/{report.n_hosts} vs vector {report.vector_crashes}"
+            f"/{report.n_hosts}")
+    if report.object_reasons != report.vector_reasons:
+        raise AnalysisError(
+            f"crash reasons diverge: object {report.object_reasons} "
+            f"vs vector {report.vector_reasons}")
+    if report.ks_pvalue is not None and report.ks_pvalue < min_pvalue:
+        raise AnalysisError(
+            f"crash-time KS test rejects equivalence: D={report.ks_statistic:.3f} "
+            f"p={report.ks_pvalue:.4f} < {min_pvalue}")

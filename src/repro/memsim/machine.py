@@ -297,10 +297,11 @@ class Machine:
 def _fleet_unit(unit) -> RunResult:
     """Pool entry point: one seeded fleet run."""
     base_config, i, crash_grace = unit
-    config = MachineConfig(
-        **{**base_config.__dict__, "seed": base_config.seed + i}
-    )
+    config = base_config.with_seed(base_config.seed + i)
     return Machine(config, crash_grace=crash_grace).run()
+
+
+FLEET_ENGINES = ("object", "vector")
 
 
 def run_fleet(
@@ -309,6 +310,7 @@ def run_fleet(
     *,
     crash_grace: float = 120.0,
     workers: int = 1,
+    engine: str = "object",
 ) -> List[RunResult]:
     """Run ``n_runs`` independent machines differing only in seed.
 
@@ -317,9 +319,24 @@ def run_fleet(
     ``workers > 1`` fans the runs across a process pool
     (:func:`repro.perf.pool.parallel_map`); per-run seeding and ordered
     reassembly keep the result list bit-identical to the sequential one.
+
+    ``engine`` selects the simulation core: ``"object"`` steps one
+    :class:`Machine` per run through the discrete-event kernel (the
+    oracle), ``"vector"`` advances the whole fleet per tick through the
+    struct-of-arrays engine (:mod:`repro.memsim.fleet_vec`) — order of
+    magnitude faster per host, statistically equivalent traces (see
+    ``docs/PERFORMANCE.md`` for the contract).
     """
     if n_runs < 1:
         raise SimulationError(f"n_runs must be >= 1, got {n_runs}")
+    if engine not in FLEET_ENGINES:
+        raise SimulationError(
+            f"unknown fleet engine {engine!r}; expected one of {FLEET_ENGINES}")
+    if engine == "vector":
+        from .fleet_vec import run_fleet_vector
+
+        return run_fleet_vector(base_config, n_runs, crash_grace=crash_grace,
+                                workers=workers)
     from ..perf.pool import parallel_map
 
     units = [(base_config, i, crash_grace) for i in range(n_runs)]

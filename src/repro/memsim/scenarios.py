@@ -66,6 +66,55 @@ _BATCH_WORKLOAD = WorkloadConfig(
 )
 
 
+# Scenario batch jobs: (period, pages, run_time); shared by the object
+# and vector engines so both attach identical periodic components.
+_SCENARIO_BATCH_JOBS = {
+    "webserver": (3600.0, 4000, 90.0),
+    "database": (7200.0, 9000, 300.0),
+    "batch": (1200.0, 8000, 240.0),
+}
+
+
+def scenario_config(
+    name: str,
+    *,
+    seed: int = 0,
+    profile: str = "nt4",
+    max_run_seconds: float = 80_000.0,
+    fault_factor: float = 1.0,
+    config_overrides: Optional[dict] = None,
+) -> MachineConfig:
+    """The :class:`MachineConfig` a named scenario runs with.
+
+    Shared by :func:`build_scenario` (object engine) and
+    :func:`repro.memsim.fleet_vec.build_scenario_fleet` (vector engine)
+    so engine selection cannot drift the experiment definition.
+    """
+    check_choice(name, name="name", choices=SCENARIO_NAMES)
+    check_choice(profile, name="profile", choices=("nt4", "w2k"))
+    ctor = MachineConfig.nt4 if profile == "nt4" else MachineConfig.w2k
+    base = ctor(seed=seed, max_run_seconds=max_run_seconds)
+
+    workload = {
+        "stress": base.workload,
+        "webserver": _WEBSERVER_WORKLOAD,
+        "database": _DATABASE_WORKLOAD,
+        "batch": _BATCH_WORKLOAD,
+    }[name]
+    overrides = dict(config_overrides or {})
+    overrides.setdefault("workload", workload)
+    if fault_factor != 1.0:
+        overrides.setdefault("faults", base.faults.scaled(fault_factor))
+    return replace(base, **overrides)
+
+
+def scenario_batch_job(name: str):
+    """The scenario's periodic batch job as ``(period, pages, run_time)``,
+    or None for scenarios without one."""
+    check_choice(name, name="name", choices=SCENARIO_NAMES)
+    return _SCENARIO_BATCH_JOBS.get(name)
+
+
 def build_scenario(
     name: str,
     *,
@@ -88,30 +137,15 @@ def build_scenario(
     config_overrides:
         Extra :class:`MachineConfig` fields to replace.
     """
-    check_choice(name, name="name", choices=SCENARIO_NAMES)
-    check_choice(profile, name="profile", choices=("nt4", "w2k"))
-    ctor = MachineConfig.nt4 if profile == "nt4" else MachineConfig.w2k
-    base = ctor(seed=seed, max_run_seconds=max_run_seconds)
-
-    workload = {
-        "stress": base.workload,
-        "webserver": _WEBSERVER_WORKLOAD,
-        "database": _DATABASE_WORKLOAD,
-        "batch": _BATCH_WORKLOAD,
-    }[name]
-    overrides = dict(config_overrides or {})
-    overrides.setdefault("workload", workload)
-    if fault_factor != 1.0:
-        overrides.setdefault("faults", base.faults.scaled(fault_factor))
-    config = replace(base, **overrides)
+    config = scenario_config(
+        name, seed=seed, profile=profile, max_run_seconds=max_run_seconds,
+        fault_factor=fault_factor, config_overrides=config_overrides)
     machine = Machine(config)
 
-    if name == "webserver":
-        _attach_batch(machine, period=3600.0, pages=4000, run_time=90.0)
-    elif name == "database":
-        _attach_batch(machine, period=7200.0, pages=9000, run_time=300.0)
-    elif name == "batch":
-        _attach_batch(machine, period=1200.0, pages=8000, run_time=240.0)
+    job = _SCENARIO_BATCH_JOBS.get(name)
+    if job is not None:
+        period, pages, run_time = job
+        _attach_batch(machine, period=period, pages=pages, run_time=run_time)
     return machine
 
 

@@ -268,6 +268,95 @@ def _case_campaign_parallel(quick: bool) -> Callable[[], int]:
     return run
 
 
+def _aging_fleet_config(seed: int, budget: float, scale: float = 6.0):
+    """NT4 config with scaled faults — crashes well inside ``budget``."""
+    from dataclasses import replace
+
+    from ..memsim import MachineConfig
+
+    base = MachineConfig.nt4(seed=seed, max_run_seconds=budget)
+    return replace(base, faults=base.faults.scaled(scale))
+
+
+def _case_fleet_vec(quick: bool) -> Callable[[], int]:
+    """Vectorised fleet engine, gated on throughput over the object path.
+
+    Setup times a small object-engine reference fleet and one full
+    vector fleet of the same config: the vector engine must simulate at
+    least 10x more host-seconds per wall second (the ISSUE target at the
+    256-host scale; the quick fleet is smaller but the floor is the
+    same).  The timed iteration is the vector fleet alone, so the
+    trajectory tracks struct-of-arrays throughput.
+    """
+    from ..exceptions import AnalysisError
+    from ..memsim import VectorFleet, run_fleet
+
+    n_vec, n_obj, budget = (128, 2, 2_000.0) if quick else (256, 4, 4_000.0)
+    config = _aging_fleet_config(seed=1, budget=budget)
+
+    t0 = time.perf_counter()
+    run_fleet(config, n_obj, workers=1)
+    wall_obj = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    VectorFleet(config, n_vec).run()
+    wall_vec = time.perf_counter() - t0
+    obj_rate = n_obj / wall_obj if wall_obj > 0 else float("inf")
+    vec_rate = n_vec / wall_vec if wall_vec > 0 else float("inf")
+    speedup = vec_rate / obj_rate if obj_rate > 0 else float("inf")
+    _log.info("fleet vector speedup", object_hosts_per_sec=round(obj_rate, 2),
+              vector_hosts_per_sec=round(vec_rate, 2),
+              speedup=round(speedup, 1))
+    if speedup < 10.0:
+        raise AnalysisError(
+            f"vector fleet throughput {speedup:.1f}x the object path "
+            f"({vec_rate:.1f} vs {obj_rate:.1f} hosts/sec at {n_vec} hosts) "
+            "is below the 10x floor"
+        )
+
+    def run() -> int:
+        VectorFleet(config, n_vec).run()
+        return n_vec
+
+    return run
+
+
+def _case_fleet_vec_equiv(quick: bool) -> Callable[[], int]:
+    """Vector-engine equivalence layer, gated on oracle agreement.
+
+    Setup asserts both halves of the equivalence contract against the
+    object-model oracle: exact batch decomposition (host i of a batch is
+    bit-identical to host i alone) and the cross-engine crash-time KS /
+    crash-reason check.  The timed iteration is the full equivalence
+    report (object + vector fleets + KS), so the trajectory tracks the
+    cost of the verification layer itself.
+    """
+    from ..memsim import (
+        check_batch_decomposition,
+        check_cross_engine,
+        fleet_equivalence_report,
+        run_fleet,
+    )
+
+    n_hosts, budget = (6, 4_000.0) if quick else (12, 6_000.0)
+    config = _aging_fleet_config(seed=31, budget=budget)
+    check_batch_decomposition(
+        _aging_fleet_config(seed=7, budget=1_500.0), 3)
+    # The object half dominates the report's cost; reuse one reference
+    # fleet for the gate and the timed iterations.
+    reference = run_fleet(config, n_hosts, workers=1)
+    report = fleet_equivalence_report(config, n_hosts,
+                                      object_results=reference)
+    check_cross_engine(report)
+
+    def run() -> int:
+        rep = fleet_equivalence_report(config, n_hosts,
+                                       object_results=reference)
+        check_cross_engine(rep)
+        return n_hosts
+
+    return run
+
+
 def _case_online_stream(quick: bool) -> Callable[[], int]:
     """Online monitor streaming on the sliding Hölder engine.
 
@@ -331,6 +420,14 @@ SUITE: Tuple[BenchCase, ...] = (
     BenchCase("memsim.fleet", "memsim",
               "stress-to-crash fleet simulation (NT4 profile)",
               _case_memsim_fleet),
+    BenchCase("memsim.fleet_vec", "memsim",
+              "vectorised fleet engine throughput "
+              "(>=10x object-path hosts/sec gated)",
+              _case_fleet_vec),
+    BenchCase("memsim.fleet_vec_equiv", "memsim",
+              "vector-engine equivalence layer "
+              "(batch decomposition + cross-engine KS gated)",
+              _case_fleet_vec_equiv),
     BenchCase("core.holder", "core",
               "pointwise Hölder trajectory of a synthetic counter",
               _case_holder_trajectory),

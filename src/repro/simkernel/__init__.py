@@ -11,11 +11,16 @@ a classic event-list kernel:
   (common random numbers across experiments).
 * :class:`Process` — a convenience base class for components that
   repeatedly reschedule themselves.
+* :class:`FleetRng` (:mod:`.batch_rng`) — counter-based batched random
+  streams for the vectorised fleet engine: one array draw per tick,
+  bit-identical per host regardless of fleet composition or sharding.
 """
 
 from .engine import Event, EventHandle, Simulator
 from .rng import RngRegistry
 from .process import Process, PeriodicProcess
+from . import batch_rng
+from .batch_rng import FleetRng
 
 __all__ = [
     "Event",
@@ -24,4 +29,6 @@ __all__ = [
     "RngRegistry",
     "Process",
     "PeriodicProcess",
+    "batch_rng",
+    "FleetRng",
 ]

@@ -10,6 +10,12 @@ replays bit-identically.  Two properties guarantee this:
    in a stable, insertion-defined order.
 2. Cancelled events are tombstoned in place (lazy deletion), so heap
    structure never depends on cancellation timing.
+
+Tombstones are additionally swept in bulk when they come to dominate the
+heap (see :meth:`Simulator.schedule`): because ``(time, priority, seq)``
+is a *total* order (``seq`` is unique), rebuilding the heap from only the
+live events cannot reorder any future pop — the sweep changes memory
+footprint, never firing order.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from ..obs.profile import profile
 EventCallback = Callable[[], None]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.  Ordering key: (time, priority, seq)."""
 
@@ -37,19 +43,27 @@ class Event:
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str = field(default="", compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Opaque handle returned by :meth:`Simulator.schedule`; supports cancel."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, sim: Optional["Simulator"] = None) -> None:
         self._event = event
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            # Count only tombstones actually sitting in the heap: a
+            # cancel after firing is a semantic no-op.
+            if not event.fired and self._sim is not None:
+                self._sim._note_tombstone()
 
     @property
     def cancelled(self) -> bool:
@@ -72,6 +86,11 @@ class Simulator:
         sim.run_until(100.0)
     """
 
+    # Sweep the heap of tombstones when at least this many have piled up
+    # AND they outnumber the live events — dead handles from cancelled
+    # sessions/timers otherwise linger until the clock reaches them.
+    _SWEEP_MIN_TOMBSTONES = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Event] = []
@@ -79,6 +98,7 @@ class Simulator:
         self._running = False
         self._n_fired = 0
         self._stop_requested = False
+        self._n_tombstones = 0
 
     @property
     def now(self) -> float:
@@ -93,7 +113,23 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._n_tombstones
+
+    def _note_tombstone(self) -> None:
+        """An in-heap event was just cancelled (called by its handle)."""
+        self._n_tombstones += 1
+
+    def _sweep_tombstones(self) -> None:
+        """Drop every tombstone and re-heapify the survivors.
+
+        Safe at any moment: ``(time, priority, seq)`` totally orders
+        events, so the rebuilt heap pops in exactly the order the old
+        one would have — lazy deletion and bulk sweeping are
+        observationally identical.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._n_tombstones = 0
 
     def schedule(
         self, time: float, callback: EventCallback, *,
@@ -113,7 +149,10 @@ class Simulator:
         event = Event(time=float(time), priority=priority,
                       seq=next(self._seq), callback=callback, label=label)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        if (self._n_tombstones >= self._SWEEP_MIN_TOMBSTONES
+                and self._n_tombstones * 2 > len(self._heap)):
+            self._sweep_tombstones()
+        return EventHandle(event, self)
 
     def schedule_in(self, delay: float, callback: EventCallback, *,
                     priority: int = 0, label: str = "") -> EventHandle:
@@ -148,10 +187,12 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    self._n_tombstones -= 1
                     continue
                 if event.time > t_end:
                     break
                 heapq.heappop(self._heap)
+                event.fired = True
                 self._now = event.time
                 event.callback()
                 self._n_fired += 1
@@ -179,9 +220,11 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._n_tombstones -= 1
                 continue
             self._running = True
             try:
+                event.fired = True
                 self._now = event.time
                 event.callback()
                 self._n_fired += 1
