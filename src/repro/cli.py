@@ -153,12 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--max-seconds", type=float, default=80_000.0)
     sim.add_argument("--fault-factor", type=float, default=1.0,
                      help="scale every aging-fault intensity")
-    sim.add_argument("--out", default=None, help="output CSV path "
-                     "(optional when --telemetry-out is given)")
+    sim.add_argument("--out", default=None,
+                     help="output trace path: *.csv writes the CSV codec, "
+                          "anything else a memory-mapped columnar run "
+                          "directory (optional when --telemetry-out is "
+                          "given)")
 
     ana = sub.add_parser("analyze", parents=[common],
-                         help="aging analysis of a trace CSV")
-    ana.add_argument("trace", help="CSV produced by `repro simulate`")
+                         help="aging analysis of a recorded trace")
+    ana.add_argument("trace", help="trace produced by `repro simulate` "
+                                   "(CSV file or columnar run directory)")
     ana.add_argument("--counter", default="AvailableBytes")
     ana.add_argument("--indicator", choices=("mean", "variance"), default="mean")
     ana.add_argument("--scheme", choices=("cusum", "ewma", "threshold"),
@@ -185,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "each cell as one struct-of-arrays fleet "
                            "(statistically equivalent counters, order-of-"
                            "magnitude faster at fleet scale)")
+    camp.add_argument("--holder-engine", default="batch",
+                      metavar="NAME",
+                      help="registered Hölder engine analysing each run's "
+                           "trace (batch/sliding/online; full-window "
+                           "estimates are identical across engines, so "
+                           "payloads are bit-identical; "
+                           "default: %(default)s)")
     camp.add_argument("--out", default=None, help="optional JSON output path")
     camp.add_argument("--detectors", default=None, metavar="NAME[,NAME...]",
                       help="run the scenario cells once per named detector "
@@ -315,8 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     src.add_argument("--scenario", choices=SCENARIO_NAMES, default=None,
                      help="run and watch a live scenario simulation "
                           "(default: stress)")
-    src.add_argument("--trace", default=None, metavar="CSV",
-                     help="replay a recorded trace CSV instead of simulating")
+    src.add_argument("--trace", default=None, metavar="TRACE",
+                     help="replay a recorded trace (CSV file or columnar "
+                          "run directory) instead of simulating")
     wat.add_argument("--profile", choices=_SIM_PROFILES, default="nt4")
     wat.add_argument("--seed", type=int, default=7)
     wat.add_argument("--max-seconds", type=float, default=80_000.0)
@@ -348,13 +360,15 @@ def build_parser() -> argparse.ArgumentParser:
     wat.add_argument("--calibration", type=int, default=10,
                      help="monitor: indicator points used to calibrate "
                           "the detector (default: %(default)s)")
-    wat.add_argument("--engine", choices=("batch", "sliding"),
+    from .core.engines import holder_engine_names
+
+    wat.add_argument("--engine", choices=holder_engine_names(),
                      default="sliding",
-                     help="Hölder recompute engine: 'sliding' computes only "
-                          "the indicator-window tail per emit (same points "
-                          "to machine precision, a fraction of the CWT "
-                          "work); 'batch' recomputes the full history "
-                          "window (default: %(default)s)")
+                     help="registered Hölder engine: 'sliding'/'online' "
+                          "compute only the indicator-window tail per emit "
+                          "(same points to machine precision, a fraction "
+                          "of the CWT work); 'batch' recomputes the full "
+                          "history window (default: %(default)s)")
     wat.add_argument("--quiet", action="store_true",
                      help="suppress live status lines on stdout")
     wat.add_argument("--status-port", type=int, default=None, metavar="PORT",
@@ -431,7 +445,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one machine and archive its traces."""
     from .memsim import Machine, MachineConfig
     from .obs import session as obs_session
-    from .trace import write_csv
+    from .trace import write_bundle
 
     if args.out is None and args.telemetry_out is None:
         print("error: simulate needs --out and/or --telemetry-out",
@@ -455,8 +469,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"(budget {args.max_seconds:.0f}s)...")
     result = machine.run()
     if args.out is not None:
-        with obs_session.span("write-csv", path=str(args.out)):
-            write_csv(result.bundle, args.out)
+        with obs_session.span("write-trace", path=str(args.out)):
+            write_bundle(result.bundle, args.out)
     dest = args.out if args.out is not None else "(not archived)"
     if result.crashed:
         print(f"crashed at t={result.crash_time:.0f}s ({result.crash_reason}); "
@@ -477,9 +491,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     """Analyse one counter of a trace file."""
     from .core import analyze_counter
     from .core.detectors import DetectorConfig
-    from .trace import read_csv
+    from .trace import read_bundle
 
-    bundle = read_csv(args.trace)
+    bundle = read_bundle(args.trace)
     if args.counter not in bundle:
         print(f"error: no counter {args.counter!r} in {args.trace}; "
               f"available: {bundle.names}", file=sys.stderr)
@@ -591,20 +605,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     from .exceptions import ExecutionError, ReproError, ValidationError
     from .report import render_table
 
-    specs = [
-        ExperimentSpec(
-            name=f"{args.scenario}-aging", scenario=args.scenario,
-            profile=args.profile, n_runs=args.runs, base_seed=args.base_seed,
-            max_run_seconds=args.max_seconds, engine=args.engine,
-        ),
-        ExperimentSpec(
-            name=f"{args.scenario}-healthy", scenario=args.scenario,
-            profile=args.profile, n_runs=args.runs,
-            base_seed=args.base_seed + 1000, fault_factor=0.0,
-            max_run_seconds=min(args.max_seconds, 15_000.0),
-            engine=args.engine,
-        ),
-    ]
+    try:
+        specs = [
+            ExperimentSpec(
+                name=f"{args.scenario}-aging", scenario=args.scenario,
+                profile=args.profile, n_runs=args.runs,
+                base_seed=args.base_seed,
+                max_run_seconds=args.max_seconds, engine=args.engine,
+                holder_engine=args.holder_engine,
+            ),
+            ExperimentSpec(
+                name=f"{args.scenario}-healthy", scenario=args.scenario,
+                profile=args.profile, n_runs=args.runs,
+                base_seed=args.base_seed + 1000, fault_factor=0.0,
+                max_run_seconds=min(args.max_seconds, 15_000.0),
+                engine=args.engine,
+                holder_engine=args.holder_engine,
+            ),
+        ]
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.detectors:
         names = [n.strip() for n in args.detectors.split(",") if n.strip()]
         try:
@@ -1130,11 +1151,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
             on_status=(None if args.quiet and board is None else on_status),
         )
         if args.trace is not None:
-            from .trace import read_csv
+            from .trace import read_bundle
 
             print(f"replaying {args.trace} ({args.counter})...")
             try:
-                end = watcher.replay(read_csv(args.trace))
+                end = watcher.replay(read_bundle(args.trace))
             except ReproError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2

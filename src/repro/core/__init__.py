@@ -6,6 +6,9 @@ Pipeline stages, each its own module:
     Pointwise (local) Hölder exponent estimation — the wavelet-modulus
     estimator (regression of ``log |W(a, t)|`` across fine scales) and
     the direct oscillation estimator, plus windowed Hölder *trajectories*.
+:mod:`.engines`
+    The :class:`~repro.core.engines.HolderEngine` protocol and name
+    registry unifying the batch, sliding and online estimation routes.
 :mod:`.indicators`
     Aging indicators derived from the Hölder trajectory: the windowed
     second moment (the paper's headline statistic), windowed mean, and
@@ -25,6 +28,13 @@ from .holder import (
     HolderTrajectory,
     oscillation_holder,
     wavelet_holder,
+)
+from .engines import (
+    HolderEngine,
+    HolderResult,
+    create_holder_engine,
+    holder_engine_names,
+    register_holder_engine,
 )
 from .indicators import (
     windowed_moments,
@@ -53,6 +63,11 @@ __all__ = [
     "HolderTrajectory",
     "oscillation_holder",
     "wavelet_holder",
+    "HolderEngine",
+    "HolderResult",
+    "create_holder_engine",
+    "holder_engine_names",
+    "register_holder_engine",
     "windowed_moments",
     "holder_variance_series",
     "holder_mean_series",

@@ -1,0 +1,265 @@
+"""Unified Hölder-estimation engines behind one protocol.
+
+Three code routes historically computed pointwise Hölder exponents —
+the batch estimator (:func:`repro.core.holder.wavelet_holder`), the
+sliding tail estimator (:class:`repro.perf.sliding_cwt.SlidingHolderEstimator`)
+and the online monitor's private branch between the two.  Every caller
+(the analysis pipeline, ``watch``, campaigns, the bench suite) picked a
+route with its own ``if``-ladder.  This module extracts the single
+:class:`HolderEngine` protocol they all satisfy, plus a name registry so
+call sites select an engine with a string — the same pattern as
+:mod:`repro.analysis.detector_registry`.
+
+The protocol's equivalence contract (enforced by the engine conformance
+tests and the ``online.stream`` bench gate):
+
+* ``estimate(values)`` — the full pointwise trajectory — is *identical*
+  across engines: every engine delegates the full-window computation to
+  the one batch implementation, so selecting an engine can never change
+  a campaign payload.
+* ``estimate_tail(values, tail)`` matches ``estimate(values).h[-tail:]``
+  to machine precision; engines differ only in how much CWT work the
+  tail costs (the sliding/online engines truncate to the wavelet's
+  effective support — the >= 5x FLOP cut the bench suite gates).
+* ``update_many(times, values)`` feeds samples incrementally and
+  returns the newest tail estimate once enough history has accumulated
+  (``None`` before that) — the streaming shape serve/distributed
+  callers consume.
+
+Registered engines: ``"batch"``, ``"sliding"``, ``"online"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import AnalysisError, ValidationError
+from .holder import wavelet_holder
+
+__all__ = [
+    "HolderEngine",
+    "HolderResult",
+    "BatchHolderEngine",
+    "SlidingHolderEngine",
+    "OnlineHolderEngine",
+    "register_holder_engine",
+    "holder_engine_names",
+    "create_holder_engine",
+]
+
+
+class HolderResult:
+    """Pointwise Hölder estimates plus the engine that produced them."""
+
+    __slots__ = ("h", "engine")
+
+    def __init__(self, h: np.ndarray, engine: str) -> None:
+        self.h = np.asarray(h, dtype=float)
+        self.engine = str(engine)
+
+    def __len__(self) -> int:
+        return int(self.h.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HolderResult(engine={self.engine!r}, n={len(self)})"
+
+
+@runtime_checkable
+class HolderEngine(Protocol):
+    """What every Hölder engine provides.
+
+    ``name`` identifies the engine in registries and telemetry;
+    ``estimate`` returns the full pointwise trajectory, ``estimate_tail``
+    just the newest ``tail`` exponents, and ``update_many`` streams
+    samples into the engine's own buffer.
+    """
+
+    name: str
+
+    def estimate(self, values) -> HolderResult:
+        """Full pointwise Hölder trajectory of ``values``."""
+        ...
+
+    def estimate_tail(self, values, tail: int) -> np.ndarray:
+        """Newest ``tail`` exponents of ``values`` (machine-precision
+        equal to ``estimate(values).h[-tail:]``)."""
+        ...
+
+    def update_many(self, times, values) -> Optional[HolderResult]:
+        """Feed a batch of samples; returns the newest tail estimate
+        once the buffer holds enough history, else None."""
+        ...
+
+
+class _BufferedEngine:
+    """Shared streaming state: a bounded (times, values) buffer that
+    ``update_many`` appends to, with the newest tail re-estimated per
+    call through the subclass's ``estimate_tail``."""
+
+    #: samples of trailing history update_many retains (and hands to the
+    #: tail estimator); mirrors the online monitor's default ``history``.
+    DEFAULT_HISTORY = 4096
+    #: tail length update_many re-estimates; mirrors the monitor's
+    #: default ``indicator_window``.
+    DEFAULT_TAIL = 512
+
+    def __init__(self, *, history: int = DEFAULT_HISTORY,
+                 tail: int = DEFAULT_TAIL, **holder_kwargs) -> None:
+        check_positive_int(history, name="history", minimum=256)
+        check_positive_int(tail, name="tail", minimum=1)
+        if tail > history:
+            raise ValidationError(
+                f"tail ({tail}) cannot exceed history ({history})")
+        self.history = int(history)
+        self.tail = int(tail)
+        self.holder_kwargs = dict(holder_kwargs)
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    # -- batch path (identical for every engine) ---------------------------
+
+    def estimate(self, values) -> HolderResult:
+        h = wavelet_holder(values, **self.holder_kwargs)
+        return HolderResult(h=h, engine=self.name)
+
+    # -- streaming ---------------------------------------------------------
+
+    @property
+    def n_buffered(self) -> int:
+        """Samples currently held in the streaming buffer."""
+        return len(self._values)
+
+    def update_many(self, times, values) -> Optional[HolderResult]:
+        t = np.asarray(list(times) if not hasattr(times, "__len__")
+                       else times, dtype=float)
+        v = np.asarray(list(values) if not hasattr(values, "__len__")
+                       else values, dtype=float)
+        if t.ndim != 1 or v.ndim != 1 or t.size != v.size:
+            raise AnalysisError(
+                f"times and values must be 1-D and equally long "
+                f"(got {t.shape} and {v.shape})")
+        if t.size:
+            if not np.all(np.isfinite(t)) or not np.all(np.isfinite(v)):
+                raise AnalysisError("samples must be finite")
+            if (self._times and t[0] <= self._times[-1]) \
+                    or np.any(np.diff(t) <= 0):
+                raise AnalysisError(
+                    "samples must arrive in strict time order")
+            self._times.extend(t.tolist())
+            self._values.extend(v.tolist())
+            if len(self._values) > self.history:
+                del self._times[:-self.history]
+                del self._values[:-self.history]
+        if len(self._values) < self.history:
+            return None
+        window = np.asarray(self._values)
+        return HolderResult(h=self.estimate_tail(window, self.tail),
+                            engine=self.name)
+
+
+class BatchHolderEngine(_BufferedEngine):
+    """The reference engine: every call recomputes the full trajectory
+    with :func:`~repro.core.holder.wavelet_holder` and slices the tail.
+    Most CWT work, zero approximation machinery — the oracle the other
+    engines are gated against."""
+
+    name = "batch"
+
+    def estimate_tail(self, values, tail: int) -> np.ndarray:
+        check_positive_int(tail, name="tail", minimum=1)
+        h = wavelet_holder(values, **self.holder_kwargs)
+        return h[-tail:]
+
+
+class SlidingHolderEngine(_BufferedEngine):
+    """Tail estimates through the truncated-support sliding CWT
+    (:class:`repro.perf.sliding_cwt.SlidingHolderEstimator`): machine-
+    precision equal to the batch tail at a fraction of the FLOPs.  One
+    estimator is built (and cached) per distinct tail length."""
+
+    name = "sliding"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._estimators: Dict[int, object] = {}
+        # Surface bad holder_kwargs at construction, not thousands of
+        # samples into a live stream.
+        self._estimator(self.tail)
+
+    def _estimator(self, tail: int):
+        if tail not in self._estimators:
+            # Imported here, not at module top: repro.perf sits above
+            # repro.core in the layer diagram.
+            from ..perf.sliding_cwt import SlidingHolderEstimator
+
+            try:
+                self._estimators[tail] = SlidingHolderEstimator(
+                    tail=tail, **self.holder_kwargs)
+            except TypeError as exc:
+                raise AnalysisError(
+                    f"holder_kwargs not supported by the sliding engine: "
+                    f"{exc}") from exc
+        return self._estimators[tail]
+
+    def estimate_tail(self, values, tail: int) -> np.ndarray:
+        check_positive_int(tail, name="tail", minimum=1)
+        return self._estimator(tail).holder_tail(values)
+
+
+class OnlineHolderEngine(SlidingHolderEngine):
+    """The streaming engine: sliding-CWT tails over the engine's own
+    bounded buffer.  Identical arithmetic to ``"sliding"`` — the
+    distinct name exists so stream-owning callers (serve/distributed
+    paths that have no monitor of their own) can request the buffered
+    shape explicitly and telemetry can tell the two apart."""
+
+    name = "online"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., HolderEngine]] = {}
+
+
+def register_holder_engine(name: str,
+                           factory: Callable[..., HolderEngine]) -> None:
+    """Register an engine factory under ``name``.
+
+    ``factory(**kwargs)`` must return a :class:`HolderEngine`.
+    Registering an existing name replaces it — deliberate, so studies
+    can swap in tuned variants under the canonical names.
+    """
+    if not name:
+        raise ValidationError("holder engine name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def holder_engine_names() -> Tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_holder_engine(name: str, **kwargs) -> HolderEngine:
+    """Build the engine registered under ``name``.
+
+    ``kwargs`` are the engine's construction knobs: ``history``/``tail``
+    for the streaming buffer plus any
+    :func:`~repro.core.holder.wavelet_holder` arguments.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"holder_engine must be one of {holder_engine_names()!r}, "
+            f"got {name!r}") from None
+    return factory(**kwargs)
+
+
+register_holder_engine("batch", BatchHolderEngine)
+register_holder_engine("sliding", SlidingHolderEngine)
+register_holder_engine("online", OnlineHolderEngine)

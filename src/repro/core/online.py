@@ -31,7 +31,7 @@ from ..exceptions import AnalysisError
 from ..obs import get_logger
 from ..obs import session as _obs
 from ..stats.changepoint import CusumDetector
-from .holder import wavelet_holder
+from .engines import HolderEngine, create_holder_engine
 
 _log = get_logger("core.online")
 
@@ -60,10 +60,13 @@ class OnlineAgingMonitor:
     holder_kwargs:
         Extra arguments for :func:`repro.core.holder.wavelet_holder`.
     holder_engine:
-        ``"batch"`` recomputes the full-window Hölder trajectory per
-        emit; ``"sliding"`` computes only the ``indicator_window`` tail
-        through :class:`repro.perf.sliding_cwt.SlidingHolderEstimator`
-        — same indicator points to machine precision, a fraction of the
+        A registered engine name (see
+        :func:`repro.core.engines.holder_engine_names`) or a
+        :class:`~repro.core.engines.HolderEngine` instance.  ``"batch"``
+        recomputes the full-window Hölder trajectory per emit;
+        ``"sliding"``/``"online"`` compute only the
+        ``indicator_window`` tail through the truncated-support CWT —
+        same indicator points to machine precision, a fraction of the
         CWT work.
     on_indicator:
         Optional callback ``(time, value)`` invoked for every indicator
@@ -82,7 +85,7 @@ class OnlineAgingMonitor:
     cusum_k: float = 1.5
     cusum_h: float = 8.0
     holder_kwargs: dict = field(default_factory=dict)
-    holder_engine: str = "batch"
+    holder_engine: str | HolderEngine = "batch"
     on_indicator: Optional[Callable[[float, float], None]] = None
     on_state_change: Optional[Callable[[float, str, str], None]] = None
 
@@ -104,21 +107,14 @@ class OnlineAgingMonitor:
                 f"support: need at least 4 * max_scale = {4 * max_scale:.0f} "
                 f"samples"
             )
-        check_choice(self.holder_engine, name="holder_engine",
-                     choices=("batch", "sliding"))
-        self._sliding = None
-        if self.holder_engine == "sliding":
-            # Imported here, not at module top: repro.perf sits above
-            # repro.core in the layer diagram.
-            from ..perf.sliding_cwt import SlidingHolderEstimator
-
-            try:
-                self._sliding = SlidingHolderEstimator(
-                    tail=self.indicator_window, **self.holder_kwargs)
-            except TypeError as exc:
-                raise AnalysisError(
-                    f"holder_kwargs not supported by the sliding engine: {exc}"
-                ) from exc
+        # Resolve the Hölder engine once, here — every emit then goes
+        # through the same estimate_tail call, whatever the engine.
+        if isinstance(self.holder_engine, str):
+            self._engine = create_holder_engine(
+                self.holder_engine, history=self.history,
+                tail=self.indicator_window, **self.holder_kwargs)
+        else:
+            self._engine = self.holder_engine
         self._times: List[float] = []
         self._values: List[float] = []
         self._since_recompute = 0
@@ -271,11 +267,7 @@ class OnlineAgingMonitor:
 
     def _emit_indicator_point(self) -> None:
         window = np.asarray(self._values[-self.history:])
-        if self._sliding is not None:
-            recent = self._sliding.holder_tail(window)
-        else:
-            h = wavelet_holder(window, **self.holder_kwargs)
-            recent = h[-self.indicator_window:]
+        recent = self._engine.estimate_tail(window, self.indicator_window)
         point = float(np.mean(recent)) if self.indicator == "mean" \
             else float(np.var(recent))
         self._indicator_points.append(point)

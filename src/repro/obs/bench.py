@@ -413,6 +413,71 @@ def _case_online_stream(quick: bool) -> Callable[[], int]:
     return run
 
 
+def _case_trace_store(quick: bool) -> Callable[[], int]:
+    """Columnar trace store read throughput, gated >= 5x over CSV.
+
+    Setup synthesises a realistic multi-counter run bundle, writes it
+    through both codecs into a scratch directory, and times a few
+    read-backs of each: the memory-mapped columnar read must be at
+    least 5x faster than the CSV parse of the same data.  The timed
+    iteration is the columnar ``read_bundle`` — the per-run cost a
+    campaign analysing archived traces pays.
+    """
+    import atexit
+    import shutil
+    import tempfile
+
+    import numpy as np
+
+    from ..exceptions import AnalysisError
+    from ..trace import TimeSeries, TraceBundle, read_bundle, write_bundle
+
+    n = 50_000 if quick else 200_000
+    n_counters = 4
+    rng = np.random.default_rng(23)
+    times = np.arange(n, dtype=float)
+    bundle = TraceBundle(metadata={"crash_time": float(n) * 0.9,
+                                   "crash_reason": "commit_exhaustion",
+                                   "os_profile": "nt4"})
+    for i in range(n_counters):
+        values = np.cumsum(rng.normal(size=n)) * 1e6 + 5e8
+        bundle.add(TimeSeries(times=times, values=values,
+                              name=f"Counter{i}", units="bytes"))
+
+    scratch = tempfile.mkdtemp(prefix="repro-bench-trace-store-")
+    atexit.register(shutil.rmtree, scratch, ignore_errors=True)
+    csv_path = os.path.join(scratch, "run.csv")
+    col_path = os.path.join(scratch, "run.store")
+    write_bundle(bundle, csv_path)
+    write_bundle(bundle, col_path)
+
+    def best_of(reader, path, reps: int = 3) -> float:
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            reader(path)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    wall_csv = best_of(read_bundle, csv_path)
+    wall_col = best_of(read_bundle, col_path)
+    speedup = wall_csv / wall_col if wall_col > 0 else float("inf")
+    _log.info("trace store read speedup", csv_s=round(wall_csv, 4),
+              columnar_s=round(wall_col, 4), speedup=round(speedup, 1))
+    if speedup < 5.0:
+        shutil.rmtree(scratch, ignore_errors=True)
+        raise AnalysisError(
+            f"columnar read {speedup:.1f}x the CSV read "
+            f"({wall_col * 1e3:.1f} ms vs {wall_csv * 1e3:.1f} ms for "
+            f"{n_counters}x{n} samples) is below the 5x floor")
+
+    def run() -> int:
+        read_bundle(col_path)
+        return n * n_counters
+
+    return run
+
+
 SUITE: Tuple[BenchCase, ...] = (
     BenchCase("simkernel.events", "simkernel",
               "event-engine churn: 20 self-rescheduling timer chains",
@@ -453,6 +518,10 @@ SUITE: Tuple[BenchCase, ...] = (
               "online monitor stream on the sliding Hölder engine "
               "(>=5x CWT FLOP reduction gated)",
               _case_online_stream),
+    BenchCase("trace.store", "trace",
+              "memory-mapped columnar trace read "
+              "(>=5x CSV read throughput gated)",
+              _case_trace_store),
 )
 
 

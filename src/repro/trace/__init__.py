@@ -12,6 +12,11 @@ Public API
     A named collection of aligned series (one per performance counter).
 :func:`read_csv` / :func:`write_csv`
     Round-trip a bundle through a plain CSV file.
+:func:`read_bundle` / :func:`write_bundle`
+    Format-autodetecting I/O: ``.csv`` paths use the CSV codec, anything
+    else the memory-mapped columnar store (:mod:`repro.trace.store`).
+:class:`ColumnarStore`
+    Lazy per-counter reader over one columnar run directory.
 Preprocessing helpers
     :func:`detrend`, :func:`difference`, :func:`standardize`,
     :func:`resample_uniform`, :func:`fill_gaps`, :func:`segment`,
@@ -19,7 +24,15 @@ Preprocessing helpers
 """
 
 from .series import TimeSeries, TraceBundle
-from .io import read_csv, write_csv
+from .io import read_csv, validate_metadata, write_csv
+from .store import (
+    ColumnarStore,
+    is_columnar_store,
+    read_bundle,
+    read_columnar,
+    write_bundle,
+    write_columnar,
+)
 from .perfmon import read_perfmon_csv, normalize_counter_name
 from .align import align_series, correlation_matrix, lagged_correlation
 from .preprocess import (
@@ -37,6 +50,13 @@ __all__ = [
     "TraceBundle",
     "read_csv",
     "write_csv",
+    "validate_metadata",
+    "read_bundle",
+    "write_bundle",
+    "read_columnar",
+    "write_columnar",
+    "ColumnarStore",
+    "is_columnar_store",
     "read_perfmon_csv",
     "normalize_counter_name",
     "align_series",

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import csv
 import io as _io
+import math
 import os
-from typing import Dict
+import re
+from typing import Dict, Mapping
 
 import numpy as np
 
@@ -28,6 +30,61 @@ from ..obs.atomic import atomic_write
 from .series import TimeSeries, TraceBundle
 
 _METADATA_PREFIX = "# "
+
+# Strict decimal grammar for metadata values.  ``float()`` is far too
+# permissive for round-tripping: it accepts underscore literals
+# (``"1_000"`` -> 1000.0), ``"nan"``/``"inf"`` (which don't survive a
+# write-back), and surrounding whitespace — all of which silently turned
+# string metadata into numbers.  Only strings matching this grammar are
+# coerced; everything else stays a string.
+_DECIMAL_RE = re.compile(r"[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?\Z")
+
+
+def validate_metadata(metadata: Mapping[str, object]) -> None:
+    """Reject metadata that cannot survive a round trip through disk.
+
+    Shared by the CSV writer and the columnar sidecar writer
+    (:func:`repro.trace.store.write_columnar`) so both formats enforce
+    one contract: keys are non-empty strings with no ``=``, ``#`` prefix,
+    newlines or surrounding whitespace; string values carry no newlines
+    or surrounding whitespace; numeric values are finite.  Violations
+    raise :class:`~repro.exceptions.TraceError` at *write* time, instead
+    of producing a file that fails (or silently mis-parses) on read.
+    """
+    for key, value in metadata.items():
+        if not isinstance(key, str) or not key:
+            raise TraceError(
+                f"metadata keys must be non-empty strings, got {key!r}")
+        if key != key.strip():
+            raise TraceError(
+                f"metadata key {key!r} has surrounding whitespace, which "
+                "does not survive a round trip")
+        if "=" in key or "\n" in key or "\r" in key or key.startswith("#"):
+            raise TraceError(
+                f"metadata key {key!r} contains '=', '#' prefix or a "
+                "newline and cannot be represented")
+        if isinstance(value, str):
+            if "\n" in value or "\r" in value:
+                raise TraceError(
+                    f"metadata value for {key!r} contains a newline and "
+                    "cannot be represented")
+            if value != value.strip():
+                raise TraceError(
+                    f"metadata value for {key!r} has surrounding "
+                    "whitespace, which does not survive a round trip")
+        elif isinstance(value, bool):
+            raise TraceError(
+                f"metadata value for {key!r} is a bool; store floats or "
+                "strings")
+        elif isinstance(value, (int, float, np.integer, np.floating)):
+            if not math.isfinite(float(value)):
+                raise TraceError(
+                    f"metadata value for {key!r} is non-finite "
+                    f"({value!r}) and cannot round-trip")
+        else:
+            raise TraceError(
+                f"metadata value for {key!r} must be a float or string, "
+                f"got {type(value).__name__}")
 
 
 def _fmt(x: float) -> str:
@@ -60,6 +117,7 @@ def write_csv(bundle: TraceBundle, path: str | os.PathLike) -> None:
         col[idx] = ts.values
         columns[name] = col
 
+    validate_metadata(bundle.metadata)
     with atomic_write(path, newline="") as handle:
         for key in sorted(bundle.metadata):
             handle.write(f"{_METADATA_PREFIX}{key}={bundle.metadata[key]}\n")
@@ -86,7 +144,14 @@ def read_csv(path: str | os.PathLike) -> TraceBundle:
     with open(path, "r", newline="") as handle:
         for line in handle:
             if line.startswith("#"):
-                stripped = line.lstrip("# ").rstrip("\n")
+                # Strip exactly the "# " the writer emitted (falling back
+                # to a bare "#"); lstrip("# ") over-stripped any leading
+                # '#'/' ' run from the *key* itself ("# #tag=x" -> "tag").
+                if line.startswith(_METADATA_PREFIX):
+                    stripped = line[len(_METADATA_PREFIX):]
+                else:
+                    stripped = line[1:]
+                stripped = stripped.rstrip("\n")
                 if "=" not in stripped:
                     raise TraceError(f"malformed metadata line: {line!r}")
                 key, _, raw = stripped.partition("=")
@@ -146,8 +211,10 @@ def read_csv(path: str | os.PathLike) -> TraceBundle:
 
 
 def _parse_metadata_value(raw: str) -> float | str:
-    """Metadata values are floats when they parse as floats, else strings."""
-    try:
+    """Metadata values are floats when they match the strict decimal
+    grammar (optional sign, digits, optional fraction and exponent);
+    everything else — including ``"1_000"``, ``"nan"``, ``"inf"`` and
+    hex-ish strings ``float()`` would happily coerce — stays a string."""
+    if _DECIMAL_RE.match(raw):
         return float(raw)
-    except ValueError:
-        return raw
+    return raw

@@ -5,7 +5,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import TraceError
-from repro.trace import TimeSeries, TraceBundle, read_csv, write_csv
+from repro.trace import (
+    TimeSeries,
+    TraceBundle,
+    read_csv,
+    validate_metadata,
+    write_csv,
+)
 
 
 def make_bundle():
@@ -182,6 +188,146 @@ class TestRoundTripProperties:
         np.testing.assert_array_equal(back["prop"].times, np.asarray(grid))
         np.testing.assert_array_equal(back["prop"].values, np.asarray(values))
         assert back.metadata["seed"] == 7.0
+
+
+def _single_series_bundle(metadata):
+    bundle = TraceBundle(metadata=metadata)
+    bundle.add(TimeSeries.from_values([1.0, 2.0, 3.0], name="a"))
+    return bundle
+
+
+class TestMetadataValueGrammar:
+    """Regression: ``_parse_metadata_value`` used bare ``float(raw)``, so
+    string metadata like ``"1_000"`` (Python underscore literals) came
+    back as 1000.0 and ``"nan"``/``"inf"`` became non-finite floats that
+    could never be written back."""
+
+    def test_underscore_literal_stays_a_string(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(_single_series_bundle({"tag": "1_000"}), path)
+        back = read_csv(path)
+        assert back.metadata["tag"] == "1_000"
+
+    @pytest.mark.parametrize("value", ["nan", "inf", "-inf", "Infinity",
+                                       "NaN", "INF"])
+    def test_nan_and_inf_strings_stay_strings(self, tmp_path, value):
+        path = tmp_path / "t.csv"
+        write_csv(_single_series_bundle({"v": value}), path)
+        assert read_csv(path).metadata["v"] == value
+
+    @pytest.mark.parametrize("raw,want", [
+        ("123", 123.0), ("-2.5", -2.5), ("+0.5", 0.5), (".5", 0.5),
+        ("1e5", 1e5), ("6.02E23", 6.02e23), ("86100.0", 86100.0),
+    ])
+    def test_strict_decimal_grammar_still_parses_numbers(
+            self, tmp_path, raw, want):
+        path = tmp_path / "t.csv"
+        path.write_text(f"# k={raw}\ntime,a\n0.0,1\n")
+        meta = read_csv(path).metadata
+        assert meta["k"] == want and isinstance(meta["k"], float)
+
+    @pytest.mark.parametrize("raw", ["0x10", "1_0", "1e", "--1", "1.2.3"])
+    def test_non_decimal_strings_stay_strings(self, tmp_path, raw):
+        path = tmp_path / "t.csv"
+        path.write_text(f"# k={raw}\ntime,a\n0.0,1\n")
+        assert read_csv(path).metadata["k"] == raw
+
+
+class TestMetadataWriteValidation:
+    """Regression: ``write_csv`` wrote metadata verbatim, so a value
+    containing a newline (or a key containing ``=``) produced a file
+    that failed — or silently mis-parsed — on read-back.  Unrepresentable
+    metadata now raises :class:`TraceError` at write time."""
+
+    @pytest.mark.parametrize("metadata", [
+        {"k": "line1\nline2"},
+        {"k": "trailing\r"},
+        {"k=weird": "x"},
+        {"k\nj": "x"},
+        {"#k": "x"},
+        {"": "x"},
+        {" k": "x"},
+        {"k": " padded "},
+        {"k": float("nan")},
+        {"k": float("inf")},
+        {"k": True},
+        {"k": [1, 2]},
+    ])
+    def test_unrepresentable_metadata_rejected(self, tmp_path, metadata):
+        with pytest.raises(TraceError):
+            write_csv(_single_series_bundle(metadata), tmp_path / "t.csv")
+
+    def test_validate_metadata_accepts_the_representable(self):
+        validate_metadata({"crash_time": 86100.0, "os_profile": "nt4",
+                           "n_rejuvenations": 3, "note": "naïve ünicode"})
+
+    def test_newline_value_never_reaches_disk(self, tmp_path):
+        path = tmp_path / "t.csv"
+        with pytest.raises(TraceError):
+            write_csv(_single_series_bundle({"k": "a\nb"}), path)
+        assert not path.exists()
+
+
+class TestMetadataPrefixStrip:
+    """Regression: ``read_csv`` used ``line.lstrip("# ")``, which strips
+    any leading run of ``#`` and space characters — so a key that itself
+    starts with ``#`` or space was silently mangled (``# #tag=x`` gave
+    key ``tag``)."""
+
+    def test_hash_prefixed_key_survives(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# #tag=x\ntime,a\n0.0,1\n")
+        assert read_csv(path).metadata == {"#tag": "x"}
+
+    def test_spaceless_comment_line_still_parses(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("#k=v\ntime,a\n0.0,1\n")
+        assert read_csv(path).metadata == {"k": "v"}
+
+    def test_written_metadata_round_trips_one_prefix(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(_single_series_bundle({"os_profile": "nt4"}), path)
+        line = path.read_text().splitlines()[0]
+        assert line == "# os_profile=nt4"
+
+
+class TestMetadataRoundTripProperties:
+    """Property suite: any representable metadata mapping must survive
+    the CSV round trip with the strict-grammar semantics."""
+
+    _keys = st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc"),
+                               blacklist_characters="=#"),
+        min_size=1, max_size=20,
+    ).map(str.strip).filter(lambda s: s and not s.startswith("#"))
+
+    _float_values = st.floats(allow_nan=False, allow_infinity=False,
+                              width=64)
+    _str_values = st.text(
+        alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+        max_size=30,
+    ).map(str.strip)
+
+    @settings(max_examples=60, deadline=None)
+    @given(metadata=st.dictionaries(_keys, _float_values | _str_values,
+                                    max_size=6))
+    def test_representable_metadata_round_trips(
+            self, tmp_path_factory, metadata):
+        path = tmp_path_factory.mktemp("meta") / "t.csv"
+        write_csv(_single_series_bundle(metadata), path)
+        back = read_csv(path).metadata
+        assert set(back) == set(metadata)
+        for key, value in metadata.items():
+            if isinstance(value, float):
+                assert back[key] == value
+            else:
+                # CSV's one representational limit: a *string* that
+                # matches the decimal grammar reads back as the equal
+                # float (the columnar sidecar preserves the type too).
+                assert back[key] == value or (
+                    isinstance(back[key], float)
+                    and str(value).strip() == str(value)
+                    and float(value) == back[key])
 
 
 class TestSimulatorBundleRoundTrip:
